@@ -1,0 +1,52 @@
+"""Shared benchmark configuration.
+
+The benchmark suite regenerates every figure of the paper's evaluation
+(DESIGN.md experiment index) and times the library's computational
+kernels.  Figure benchmarks print the series they produce, so the
+pytest output doubles as the reproduction record.
+
+Scale is controlled by the ``REPRO_BENCH_SCALE`` environment variable:
+``small`` (default — minutes-level CI budget) or ``paper`` (the full
+setup of section 5.1.1).
+"""
+
+from __future__ import annotations
+
+import os
+
+import numpy as np
+import pytest
+
+from repro.experiments import APP_NAMES, paper_trace
+
+
+def bench_scale() -> str:
+    """The benchmark scale selected via REPRO_BENCH_SCALE."""
+    scale = os.environ.get("REPRO_BENCH_SCALE", "small")
+    if scale not in ("small", "paper"):
+        raise ValueError(f"REPRO_BENCH_SCALE must be 'small' or 'paper', got {scale}")
+    return scale
+
+
+BENCH_NPROCS = 16
+
+
+@pytest.fixture(scope="session")
+def scale() -> str:
+    """Benchmark scale fixture."""
+    return bench_scale()
+
+
+@pytest.fixture(scope="session", autouse=True)
+def warm_traces(scale):
+    """Generate (and cache) all four traces once per session so individual
+    benchmarks time the experiment, not the trace generation."""
+    for name in APP_NAMES:
+        paper_trace(name, scale)
+
+
+def print_series(label: str, values) -> None:
+    """Render one figure series as the row the paper's plot shows."""
+    arr = np.asarray(values, dtype=np.float64)
+    body = " ".join(f"{v:6.3f}" for v in arr)
+    print(f"  {label:<28s} {body}")

@@ -1,0 +1,40 @@
+"""Ablation A: the beta_m denominator choice (section 4.4).
+
+The paper argues for ``|H_t|`` over ``|H_{t-1}|``; this bench measures the
+correlation of each variant against the measured relative migration on all
+four traces.
+"""
+
+from __future__ import annotations
+
+from repro.experiments import APP_NAMES, ablation_denominator
+
+from conftest import BENCH_NPROCS
+
+
+def test_ablation_denominator(benchmark, scale):
+    table = benchmark.pedantic(
+        ablation_denominator,
+        kwargs={"scale": scale, "nprocs": BENCH_NPROCS},
+        rounds=1,
+        iterations=1,
+    )
+    print()
+    print(f"{'app':<6} {'current |H_t|':>14} {'previous |H_t-1|':>17} {'max':>8}")
+    for name in APP_NAMES:
+        row = table[name]
+        print(
+            f"{name:<6} {row['current']:>14.3f} {row['previous']:>17.3f} "
+            f"{row['max']:>8.3f}"
+        )
+    for row in table.values():
+        for v in row.values():
+            assert -1.0 <= v <= 1.0
+    if scale == "paper":
+        # The paper's choice should not be dominated: |H_t| is at least as
+        # good as the alternatives on the majority of kernels.
+        wins = sum(
+            table[n]["current"] >= max(table[n]["previous"], table[n]["max"]) - 0.05
+            for n in APP_NAMES
+        )
+        assert wins >= 2

@@ -1,0 +1,35 @@
+"""Dimension II demonstration (section 4.3): requested vs. offered time.
+
+The paper lays the theory for trade-off 2 but leaves the final comparison
+to experiment; this bench regenerates the requested/offered trajectory for
+BL2D (the paper's running example of dynamic behaviour) and prints the
+dimension-II coordinate the sampler derives from it.
+"""
+
+from __future__ import annotations
+
+from repro.experiments import dimension2_series
+
+from conftest import BENCH_NPROCS, print_series
+
+
+def test_dimension2_bl2d(benchmark, scale):
+    d = benchmark.pedantic(
+        dimension2_series,
+        args=("bl2d",),
+        kwargs={"scale": scale, "nprocs": BENCH_NPROCS},
+        rounds=1,
+        iterations=1,
+    )
+    print()
+    print("Dimension II (speed vs. quality) — BL2D")
+    print_series("step", d["step"])
+    print_series("requested fraction", d["requested_fraction"])
+    print_series("normalized grid size", d["normalized_grid_size"])
+    print_series("requested seconds", d["requested_seconds"])
+    print_series("offered seconds", d["offered_seconds"])
+    print_series("dim2 coordinate", d["dim2"])
+    assert ((d["dim2"] >= 0) & (d["dim2"] <= 1)).all()
+    # The grid-size normalization of section 4.2 must be active: the
+    # requested seconds vary even when penalties are steady.
+    assert d["requested_seconds"].std() > 0

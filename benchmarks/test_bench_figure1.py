@@ -1,0 +1,31 @@
+"""Figure 1: dynamic behaviour of BL2D under a static partitioner.
+
+The paper plots load imbalance and communication amount against time for
+BL2D with a fixed P, motivating dynamic partitioner selection ("with a
+dynamic selection of P ... the total execution time could have been
+reduced").
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.experiments import figure1
+
+from conftest import BENCH_NPROCS, print_series
+
+
+def test_figure1_bl2d_dynamic_behaviour(benchmark, scale):
+    fig = benchmark.pedantic(
+        figure1, kwargs={"scale": scale, "nprocs": BENCH_NPROCS},
+        rounds=1, iterations=1,
+    )
+    print()
+    print(f"Figure 1 — BL2D under static Nature+Fable, P={fig['nprocs']}")
+    print_series("step", fig["step"])
+    print_series("load imbalance [%]", fig["load_imbalance_percent"])
+    print_series("relative communication", fig["relative_comm"])
+    # The figure's message: the series vary substantially over time.
+    imb = fig["load_imbalance_percent"]
+    assert imb.max() > imb.min()
+    assert fig["relative_comm"].std() > 0

@@ -1,0 +1,56 @@
+"""Figures 4-7: penalties vs. measured behaviour for the four kernels.
+
+Each figure has two panels: actual relative communication superimposed
+with ``beta_C`` (left) and actual relative data migration superimposed
+with ``beta_m`` (right), both without scaling (section 5.1.4).  The
+benchmark regenerates the four series and checks the qualitative claims
+of section 5.2 (trends co-move; ``beta_m`` is cautious in amplitude).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments import FIGURE_APPS, figure_app
+
+from conftest import BENCH_NPROCS, print_series
+
+
+@pytest.mark.parametrize(
+    "figure,app", sorted(FIGURE_APPS.items()), ids=lambda v: str(v)
+)
+def test_figure_model_vs_measured(benchmark, scale, figure, app):
+    fig = benchmark.pedantic(
+        figure_app,
+        args=(app,),
+        kwargs={"scale": scale, "nprocs": BENCH_NPROCS},
+        rounds=1,
+        iterations=1,
+    )
+    print()
+    print(
+        f"Figure {figure} — {app.upper()}: model penalties vs. measured "
+        f"(P={fig['nprocs']})"
+    )
+    print_series("step", fig["step"])
+    print_series("actual relative comm", fig["actual_relative_comm"])
+    print_series("beta_C (model)", fig["beta_c"])
+    print_series("actual relative migration", fig["actual_relative_migration"])
+    print_series("beta_m (model)", fig["beta_m"])
+    print(
+        f"  stats: corr(beta_m, migration)={fig['migration_correlation']:+.3f} "
+        f"corr(beta_C, comm)={fig['comm_correlation']:+.3f} "
+        f"envelope={fig['comm_envelope_fraction']:.2f} "
+        f"amplitude-ratio={fig['migration_amplitude_ratio']:.2f} "
+        f"lead={fig['migration_lead']:+d}"
+    )
+    print(
+        f"  periods: migration model/actual = "
+        f"{fig['migration_period_model']}/{fig['migration_period_actual']}, "
+        f"comm model/actual = "
+        f"{fig['comm_period_model']}/{fig['comm_period_actual']}"
+    )
+    # Section 5.2, weakest-form checks that must hold at any scale:
+    assert fig["beta_m"][0] == 0.0
+    assert (fig["beta_m"] >= 0).all() and (fig["beta_m"] <= 1).all()
+    assert (fig["beta_c"] >= 0).all() and (fig["beta_c"] <= 1).all()

@@ -1,0 +1,49 @@
+"""Ablation B: dynamic PAC (meta-partitioner) vs. every static choice.
+
+The ArMADA proof-of-concept ("even with such a simple model, execution
+times were reduced", section 3) and the conclusions ("tracking and
+adapting to this dynamic behavior lead to potentially large decreases in
+execution times") quantified: across applications x machine scenarios,
+the meta-partitioner's worst-case regret against the per-pair best static
+partitioner should be far smaller than any fixed static choice's.
+"""
+
+from __future__ import annotations
+
+from repro.experiments import (
+    APP_NAMES,
+    machine_scenarios,
+    meta_vs_static,
+    regret_summary,
+)
+
+from conftest import BENCH_NPROCS
+
+
+def test_meta_vs_static(benchmark, scale):
+    table = benchmark.pedantic(
+        meta_vs_static,
+        kwargs={"scale": scale, "nprocs": BENCH_NPROCS},
+        rounds=1,
+        iterations=1,
+    )
+    print()
+    for name in APP_NAMES:
+        for mlabel in machine_scenarios():
+            row = table[name][mlabel]
+            cells = " ".join(
+                f"{k}={v:8.2f}" for k, v in row.items() if k != "meta_regret"
+            )
+            print(f"{name:<6} {mlabel:<13} {cells} regret={row['meta_regret']:+.2f}")
+    worst = regret_summary(table)
+    print()
+    print("worst-case regret across (app, machine) pairs:")
+    for label, regret in sorted(worst.items(), key=lambda kv: kv[1]):
+        print(f"  {label:<22} {regret:+.3f}")
+    # The dynamic schedules must beat the *worst* statics decisively.
+    statics = [
+        v
+        for k, v in worst.items()
+        if k not in ("meta-partitioner", "armada-octant")
+    ]
+    assert worst["meta-partitioner"] < max(statics)

@@ -1,0 +1,60 @@
+"""Fully dynamic PAC: the meta-partitioner selecting P at run time.
+
+The conceptual Figure 2 of the paper, realized: at every regrid the state
+sampler classifies the application + system state into the continuous
+classification space, and the meta-partitioner selects and configures the
+partitioner.  The demo replays the SC2D (Scalarwave) trace — whose
+hierarchy oscillates between a flat base grid and a deep 5-level stack —
+on two different machines, and compares the modeled execution time against
+static partitioner choices and the discrete ArMADA octant baseline.
+
+Run:  python examples/meta_partitioner_demo.py
+"""
+
+from repro.apps import ScalarWave2D, TraceGenConfig, generate_trace
+from repro.meta import ArmadaClassifier, MetaScheduler
+from repro.model import StateSampler
+from repro.partition import DomainSfcPartitioner, NaturePlusFable
+from repro.simulator import MachineModel, TraceSimulator
+
+NPROCS = 8
+
+config = TraceGenConfig(
+    base_shape=(32, 32), max_levels=4, nsteps=60, regrid_interval=4
+)
+trace = generate_trace(ScalarWave2D(shape=(128, 128)), config)
+print(f"trace '{trace.name}': {len(trace)} snapshots")
+
+machines = {
+    "net-starved cluster": MachineModel(bandwidth_bytes_per_s=5.0e7),
+    "balanced 2003 cluster": MachineModel(),
+}
+
+for label, machine in machines.items():
+    sim = TraceSimulator(machine=machine)
+    print(f"\n=== {label} (comm/compute ratio "
+          f"{machine.comm_compute_ratio():.1f}) ===")
+
+    # Static choices.
+    for part in (NaturePlusFable(), DomainSfcPartitioner(curve="hilbert")):
+        total = sim.run(trace, part, NPROCS).total_execution_seconds
+        print(f"static {part.describe()['name']:<14} {total:8.3f} s")
+
+    # Discrete octant baseline (ArMADA, section 3).
+    armada = ArmadaClassifier()
+    total = sim.run_scheduled(trace, armada, NPROCS).total_execution_seconds
+    print(f"dynamic armada-octant  {total:8.3f} s "
+          f"(octants visited: {sorted(set(armada.history))})")
+
+    # Continuous meta-partitioner.
+    meta = MetaScheduler(sampler=StateSampler(machine=machine, nprocs=NPROCS))
+    total = sim.run_scheduled(trace, meta, NPROCS).total_execution_seconds
+    print(f"dynamic meta           {total:8.3f} s")
+
+    # Show the classification curve the meta-partitioner followed.
+    print("classification trajectory (first 8 regrids):")
+    for i, point in enumerate(meta.history[:8]):
+        print(
+            f"  regrid {i}: dim1={point.dim1:.2f} dim2={point.dim2:.2f} "
+            f"dim3={point.dim3:.2f} -> octant {point.octant()}"
+        )

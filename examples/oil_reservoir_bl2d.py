@@ -1,0 +1,63 @@
+"""BL2D walkthrough: trace an oil-water flow kernel and validate the model.
+
+Reproduces the paper's Figure 5 pipeline end to end at a laptop-friendly
+scale: run the Buckley--Leverett kernel, record the grid hierarchy at
+every regrid, partition the trace with Nature+Fable (static defaults,
+section 5.1.2), and superimpose the measured relative migration and
+communication with the penalties beta_m and beta_C.
+
+Run:  python examples/oil_reservoir_bl2d.py
+"""
+
+import numpy as np
+
+from repro.apps import BuckleyLeverett2D, TraceGenConfig, generate_trace
+from repro.experiments import dominant_period, pearson
+from repro.model import StateSampler
+from repro.partition import NaturePlusFable
+from repro.simulator import TraceSimulator
+
+NPROCS = 8
+
+# 1. Generate the trace: 5-level factor-2 hierarchy, regrid every 4 steps.
+config = TraceGenConfig(
+    base_shape=(32, 32), max_levels=4, nsteps=60, regrid_interval=4
+)
+app = BuckleyLeverett2D(shape=(128, 128))
+trace = generate_trace(app, config)
+stats = trace.stats()
+print(
+    f"trace '{trace.name}': {stats.nsteps} snapshots, "
+    f"{stats.min_cells}..{stats.max_cells} cells, "
+    f"max {stats.max_levels} levels, ~{stats.mean_patches:.0f} patches"
+)
+
+# 2. Evaluate the model ab initio on the unpartitioned hierarchies.
+sampler = StateSampler(nprocs=NPROCS)
+model = sampler.penalty_series(trace)
+
+# 3. Replay through the execution simulator with the static partitioner.
+sim = TraceSimulator()
+actual = sim.run(trace, NaturePlusFable(), NPROCS)
+mig = actual.series("relative_migration")
+comm = actual.series("relative_comm")
+
+# 4. Figure-5-style table: both panels, superimposed without scaling.
+print(f"\n{'step':>5} {'beta_m':>8} {'measured mig':>13} {'beta_C':>8} "
+      f"{'measured comm':>14}")
+for i, step in enumerate(model.steps):
+    print(
+        f"{step:>5d} {model.beta_m[i]:>8.3f} {mig[i]:>13.3f} "
+        f"{model.beta_c[i]:>8.3f} {comm[i]:>14.3f}"
+    )
+
+# 5. The section 5.2 reading of the figure.
+corr = pearson(model.beta_m[1:], mig[1:])
+period_model = dominant_period(model.beta_m[1:])
+period_actual = dominant_period(mig[1:])
+print(f"\ncorr(beta_m, measured migration) = {corr:+.3f}")
+print(f"oscillation period: model {period_model} vs measured {period_actual}")
+print(
+    "the injection cycles drive the water front to surge and stall; the "
+    "penalty tracks the resulting inflate/deflate period of the hierarchy."
+)

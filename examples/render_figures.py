@@ -1,0 +1,27 @@
+"""Render the reproduced figures as ASCII charts in the terminal.
+
+Regenerates Figure 1 and Figures 4-7 at a quick scale and draws both
+panels of each — the measured series superimposed with the model
+penalties, as the paper's plots do.  Use scale="paper" (slower) for the
+full 5-level, 100-step setup of section 5.1.1.
+
+Run:  python examples/render_figures.py
+"""
+
+from repro.experiments import (
+    FIGURE_APPS,
+    figure1,
+    figure_app,
+    render_figure1,
+    render_figure_app,
+)
+
+SCALE = "small"
+NPROCS = 8
+
+print(render_figure1(figure1(scale=SCALE, nprocs=NPROCS)))
+print("\n" + "=" * 78 + "\n")
+for number, app in sorted(FIGURE_APPS.items()):
+    fig = figure_app(app, scale=SCALE, nprocs=NPROCS)
+    print(render_figure_app(fig, figure_number=number))
+    print("\n" + "=" * 78 + "\n")

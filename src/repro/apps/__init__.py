@@ -1,0 +1,50 @@
+"""The four SAMR application kernels of the paper's validation suite.
+
+============  ==========================================  ==================
+Trace name    Kernel                                      Paper behaviour
+============  ==========================================  ==================
+``tp2d``      2-D transport benchmark (GrACE)             seemingly random
+``bl2d``      Buckley--Leverett oil-water flow (IPARS)    oscillatory
+``sc2d``      Scalarwave numerical relativity (Cactus)    oscillatory
+``rm2d``      Richtmyer--Meshkov instability (VTF)        seemingly random
+============  ==========================================  ==================
+"""
+
+from .base import ShadowApplication, TraceGenConfig, build_hierarchy, generate_trace
+from .bl2d import BuckleyLeverett2D, fractional_flow
+from .rm2d import RichtmyerMeshkov2D
+from .sc2d import ScalarWave2D
+from .tp2d import Transport2D
+
+__all__ = [
+    "ShadowApplication",
+    "TraceGenConfig",
+    "build_hierarchy",
+    "generate_trace",
+    "BuckleyLeverett2D",
+    "fractional_flow",
+    "RichtmyerMeshkov2D",
+    "ScalarWave2D",
+    "Transport2D",
+    "APPLICATIONS",
+    "make_application",
+]
+
+#: Registry of the paper's four kernels, keyed by trace name.
+APPLICATIONS = {
+    "tp2d": Transport2D,
+    "bl2d": BuckleyLeverett2D,
+    "sc2d": ScalarWave2D,
+    "rm2d": RichtmyerMeshkov2D,
+}
+
+
+def make_application(name: str, **kwargs) -> ShadowApplication:
+    """Instantiate one of the paper's kernels by trace name."""
+    try:
+        cls = APPLICATIONS[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown application {name!r}; choose from {sorted(APPLICATIONS)}"
+        ) from None
+    return cls(**kwargs)

@@ -1,0 +1,170 @@
+"""BL2D: the Buckley--Leverett oil-water flow kernel.
+
+The paper's BL2D is the Buckley--Leverett model from the IPARS reservoir
+toolkit, "used in Oil-Water Flow Simulation for simulation of hydrocarbon
+pollution in aquifers" (section 5.1.1).  Its trace exhibits *oscillatory*
+data migration and communication whose time period the model must capture
+(Figure 5), and Figure 1 uses it to motivate dynamic partitioner selection.
+
+We solve the two-phase fractional-flow saturation equation
+
+    ds/dt + div( f(s) v ) = 0,      f(s) = s^2 / (s^2 + M (1 - s)^2)
+
+on the unit square with a quarter-five-spot velocity field (injector in
+one corner, producer in the opposite corner; incompressible potential
+flow, so ``v`` is analytic).  The injection rate is modulated
+sinusoidally — water-alternating injection cycles — which drives the
+water front to surge and stall periodically; the refined region around the
+front therefore grows and shrinks with the same period, producing the
+oscillatory hierarchy dynamics the paper reports for BL2D.
+
+Discretization: first-order upwind finite volumes with a CFL-limited inner
+sub-cycle per coarse step.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .base import ShadowApplication
+
+__all__ = ["BuckleyLeverett2D", "fractional_flow"]
+
+
+def fractional_flow(s: np.ndarray, mobility_ratio: float) -> np.ndarray:
+    """Buckley--Leverett fractional flow ``f(s) = s^2 / (s^2 + M (1-s)^2)``.
+
+    ``s`` is water saturation in ``[0, 1]``; ``mobility_ratio`` is the
+    oil/water mobility ratio ``M``.
+    """
+    s = np.clip(s, 0.0, 1.0)
+    s2 = s * s
+    o2 = (1.0 - s) ** 2
+    denom = s2 + mobility_ratio * o2
+    out = np.zeros_like(s)
+    nz = denom > 0
+    out[nz] = s2[nz] / denom[nz]
+    return out
+
+
+class BuckleyLeverett2D(ShadowApplication):
+    """Quarter-five-spot Buckley--Leverett displacement with cyclic injection.
+
+    Parameters
+    ----------
+    shape :
+        Shadow-grid resolution.
+    dt :
+        Coarse-step time increment.
+    mobility_ratio :
+        Oil/water mobility ratio ``M`` (paper-era reservoir kernels use
+        values around 2).
+    injection_period :
+        Period (physical time) of the injection-rate modulation — sets the
+        oscillation period seen in the trace.
+    seed :
+        Seed for the permeability-noise field (mild heterogeneity).
+    """
+
+    name = "bl2d"
+
+    def __init__(
+        self,
+        shape: tuple[int, int] = (128, 128),
+        dt: float = 0.012,
+        mobility_ratio: float = 2.0,
+        injection_period: float = 0.5,
+        seed: int = 1997,
+    ) -> None:
+        if min(shape) < 8:
+            raise ValueError("shadow grid too small")
+        if injection_period <= 0:
+            raise ValueError("injection_period must be positive")
+        self._shape = shape
+        self._dt = float(dt)
+        self._M = float(mobility_ratio)
+        self._period = float(injection_period)
+        self._time = 0.0
+        nx, ny = shape
+        x = (np.arange(nx) + 0.5) / nx
+        y = (np.arange(ny) + 0.5) / ny
+        X, Y = np.meshgrid(x, y, indexing="ij")
+        # Quarter-five-spot potential flow: source at (0,0), sink at (1,1).
+        eps = 0.75 / min(shape)
+        r2s = X**2 + Y**2 + eps**2
+        r2k = (X - 1.0) ** 2 + (Y - 1.0) ** 2 + eps**2
+        vx = X / r2s - (X - 1.0) / r2k
+        vy = Y / r2s - (Y - 1.0) / r2k
+        # Mild permeability heterogeneity perturbs the front shape.
+        rng = np.random.default_rng(seed)
+        noise = rng.normal(0.0, 1.0, shape)
+        for _ in range(4):  # cheap smoothing
+            noise = 0.25 * (
+                np.roll(noise, 1, 0)
+                + np.roll(noise, -1, 0)
+                + np.roll(noise, 1, 1)
+                + np.roll(noise, -1, 1)
+            )
+        perm = np.exp(0.35 * noise / max(noise.std(), 1e-12))
+        self._vx = vx * perm
+        self._vy = vy * perm
+        speed = np.abs(self._vx).max() + np.abs(self._vy).max()
+        self._scale = 0.35 / speed  # normalize so fronts move O(cells)/step
+        # Initial water bank near the injector.
+        self._s = np.where(X + Y < 0.15, 1.0, 0.0)
+
+    # -- ShadowApplication interface ----------------------------------------
+    @property
+    def shape(self) -> tuple[int, int]:
+        return self._shape
+
+    @property
+    def time(self) -> float:
+        return self._time
+
+    def indicator_field(self) -> np.ndarray:
+        return self._s
+
+    def injection_rate(self, t: float) -> float:
+        """Cyclic injection multiplier in ``[0.15, 1.0]``."""
+        return 0.575 + 0.425 * np.sin(2 * np.pi * t / self._period)
+
+    def advance(self) -> None:
+        """One coarse step: CFL-limited upwind sub-cycling."""
+        nx, ny = self._shape
+        remaining = self._dt
+        while remaining > 1e-14:
+            rate = self.injection_rate(self._time)
+            vx = self._vx * self._scale * rate
+            vy = self._vy * self._scale * rate
+            vmax = max(np.abs(vx).max() * nx, np.abs(vy).max() * ny, 1e-12)
+            sub = min(remaining, 0.4 / vmax)
+            self._upwind_step(vx, vy, sub)
+            self._time += sub
+            remaining -= sub
+
+    # -- internals -------------------------------------------------------------
+    def _upwind_step(self, vx: np.ndarray, vy: np.ndarray, dt: float) -> None:
+        """First-order Godunov/upwind update of the saturation field."""
+        nx, ny = self._shape
+        s = self._s
+        f = fractional_flow(s, self._M)
+        # Face fluxes, x-direction (faces between i-1 and i).
+        vx_face = 0.5 * (vx + np.roll(vx, 1, axis=0))
+        f_up_x = np.where(vx_face > 0, np.roll(f, 1, axis=0), f)
+        Fx = vx_face * f_up_x
+        Fx[0, :] = 0.0  # closed outer boundary (injection handled as source)
+        vy_face = 0.5 * (vy + np.roll(vy, 1, axis=1))
+        f_up_y = np.where(vy_face > 0, np.roll(f, 1, axis=1), f)
+        Fy = vy_face * f_up_y
+        Fy[:, 0] = 0.0
+        div = (np.roll(Fx, -1, axis=0) - Fx) * nx + (np.roll(Fy, -1, axis=1) - Fy) * ny
+        # Outflow at the far edges (producer corner) handled by the roll
+        # wrap; zero the wrapped contribution explicitly.
+        div[-1, :] = ((0.0 - Fx[-1, :]) * nx) + (np.roll(Fy, -1, axis=1) - Fy)[
+            -1, :
+        ] * ny
+        s_new = s - dt * div
+        # Injector keeps the corner saturated.
+        s_new[: max(2, nx // 32), : max(2, ny // 32)] = 1.0
+        self._s = np.clip(s_new, 0.0, 1.0)

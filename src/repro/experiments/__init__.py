@@ -1,0 +1,53 @@
+"""Experiment harness: one entry point per paper table/figure (DESIGN.md)."""
+
+from .ablations import (
+    ablation_denominator,
+    ablation_surface,
+    machine_scenarios,
+    meta_vs_static,
+    regret_summary,
+    static_partitioner_suite,
+)
+from .analysis import (
+    amplitude_ratio,
+    best_lag,
+    dominant_period,
+    envelope_fraction,
+    pearson,
+)
+from .figures import (
+    FIGURE_APPS,
+    dimension2_series,
+    figure1,
+    figure_app,
+    shape_report,
+)
+from .report import ascii_chart, render_figure1, render_figure_app, render_regret
+from .workloads import APP_NAMES, all_paper_traces, paper_config, paper_trace
+
+__all__ = [
+    "ablation_denominator",
+    "ablation_surface",
+    "machine_scenarios",
+    "meta_vs_static",
+    "regret_summary",
+    "static_partitioner_suite",
+    "amplitude_ratio",
+    "best_lag",
+    "dominant_period",
+    "envelope_fraction",
+    "pearson",
+    "FIGURE_APPS",
+    "dimension2_series",
+    "figure1",
+    "figure_app",
+    "shape_report",
+    "ascii_chart",
+    "render_figure1",
+    "render_figure_app",
+    "render_regret",
+    "APP_NAMES",
+    "all_paper_traces",
+    "paper_config",
+    "paper_trace",
+]

@@ -1,0 +1,128 @@
+"""Time-series analysis utilities for the validation experiments.
+
+The paper's evaluation is visual ("No numerical results, e.g., in terms of
+error norms, were derived", section 5.1.4); to make the reproduction
+checkable we quantify the claims of section 5.2 with standard statistics:
+
+* *trend agreement* — Pearson correlation between a penalty series and the
+  measured series;
+* *oscillation period* — dominant autocorrelation lag, to verify "the
+  model captures the time period of the oscillation" for BL2D/SC2D;
+* *peak lead* — the cross-correlation lag, to verify "beta_m peaks one
+  time-step before the relative data migration occasionally";
+* *envelope fraction* — how often ``beta_C`` sits above the measured
+  communication ("beta_C reflects a worst-case scenario").
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = [
+    "pearson",
+    "dominant_period",
+    "best_lag",
+    "envelope_fraction",
+    "amplitude_ratio",
+]
+
+
+def pearson(a: np.ndarray, b: np.ndarray) -> float:
+    """Pearson correlation; 0.0 when either series is constant."""
+    a = np.asarray(a, dtype=np.float64)
+    b = np.asarray(b, dtype=np.float64)
+    if a.shape != b.shape:
+        raise ValueError("series must have equal length")
+    if a.size < 2:
+        raise ValueError("need at least 2 samples")
+    if a.std() == 0 or b.std() == 0:
+        return 0.0
+    return float(np.corrcoef(a, b)[0, 1])
+
+
+def _autocorr(series: np.ndarray) -> np.ndarray:
+    x = np.asarray(series, dtype=np.float64)
+    x = x - x.mean()
+    n = x.size
+    var = float((x * x).sum())
+    if var == 0:
+        return np.zeros(n)
+    full = np.correlate(x, x, mode="full")[n - 1 :]
+    return full / var
+
+
+def dominant_period(series: np.ndarray, min_lag: int = 2) -> int | None:
+    """Dominant oscillation period: first local max of the autocorrelation.
+
+    Returns ``None`` when no local maximum exists past ``min_lag`` (non-
+    oscillatory series).
+    """
+    series = np.asarray(series, dtype=np.float64)
+    if series.size < 2 * min_lag + 2:
+        return None
+    ac = _autocorr(series)
+    # Local maxima past min_lag.
+    interior = ac[1:-1]
+    peaks = np.flatnonzero(
+        (interior > ac[:-2]) & (interior >= ac[2:])
+    ) + 1
+    peaks = peaks[peaks >= min_lag]
+    if peaks.size == 0:
+        return None
+    best = peaks[np.argmax(ac[peaks])]
+    if ac[best] <= 0:
+        return None
+    return int(best)
+
+
+def best_lag(model: np.ndarray, measured: np.ndarray, max_lag: int = 3) -> int:
+    """Lag maximizing ``corr(model[t], measured[t + lag])``.
+
+    Positive lag means the model *leads* the measurement (the paper notes
+    ``beta_m`` "peaks one time-step before the relative data migration
+    occasionally").
+    """
+    model = np.asarray(model, dtype=np.float64)
+    measured = np.asarray(measured, dtype=np.float64)
+    if model.shape != measured.shape:
+        raise ValueError("series must have equal length")
+    if max_lag < 0:
+        raise ValueError("max_lag must be >= 0")
+    best = 0
+    best_corr = -np.inf
+    for lag in range(-max_lag, max_lag + 1):
+        if lag >= 0:
+            a, b = model[: model.size - lag or None], measured[lag:]
+        else:
+            a, b = model[-lag:], measured[: measured.size + lag]
+        if a.size < 3 or a.std() == 0 or b.std() == 0:
+            continue
+        c = float(np.corrcoef(a, b)[0, 1])
+        if c > best_corr:
+            best_corr = c
+            best = lag
+    return best
+
+
+def envelope_fraction(upper: np.ndarray, lower: np.ndarray) -> float:
+    """Fraction of steps where ``upper >= lower`` (worst-case check)."""
+    upper = np.asarray(upper, dtype=np.float64)
+    lower = np.asarray(lower, dtype=np.float64)
+    if upper.shape != lower.shape:
+        raise ValueError("series must have equal length")
+    if upper.size == 0:
+        raise ValueError("series must be non-empty")
+    return float((upper >= lower).mean())
+
+
+def amplitude_ratio(model: np.ndarray, measured: np.ndarray) -> float:
+    """Std-dev ratio model/measured (the "cautious amplitude" check).
+
+    Returns ``inf`` when the measured series is constant.
+    """
+    model = np.asarray(model, dtype=np.float64)
+    measured = np.asarray(measured, dtype=np.float64)
+    denom = measured.std()
+    if denom == 0:
+        return float("inf")
+    return float(model.std() / denom)

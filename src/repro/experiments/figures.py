@@ -1,0 +1,194 @@
+"""Regeneration of every figure of the paper's evaluation.
+
+One entry point per paper artifact (DESIGN.md experiment index):
+
+* :func:`figure1` — BL2D dynamic behaviour under a static partitioner
+  (load imbalance % and communication amount vs. time);
+* :func:`figure_app` — Figures 4--7: per application, actual relative
+  communication vs ``beta_C`` and actual relative data migration vs
+  ``beta_m``, superimposed without scaling;
+* :func:`shape_report` — quantified versions of the section 5.2 claims;
+* :func:`dimension2_series` — the requested/offered trajectory of the
+  dimension-II theory (section 4.3).
+
+All functions return plain dicts of numpy arrays/floats so benchmarks and
+notebooks can consume or print them directly (no plotting dependency).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..metrics import load_imbalance_percent
+from ..model import StateSampler
+from ..partition import NaturePlusFable, Partitioner, proc_loads
+from ..simulator import TraceSimulator
+from ..trace import Trace
+from .analysis import (
+    amplitude_ratio,
+    best_lag,
+    dominant_period,
+    envelope_fraction,
+    pearson,
+)
+from .workloads import APP_NAMES, paper_trace
+
+__all__ = [
+    "FIGURE_APPS",
+    "figure1",
+    "figure_app",
+    "shape_report",
+    "dimension2_series",
+]
+
+#: Figure number -> application, per the paper's layout.
+FIGURE_APPS = {4: "rm2d", 5: "bl2d", 6: "sc2d", 7: "tp2d"}
+
+DEFAULT_NPROCS = 16
+
+
+def _static_partitioner() -> Partitioner:
+    """The paper's partitioning setup: Nature+Fable with static defaults."""
+    return NaturePlusFable()
+
+
+def figure1(
+    trace: Trace | None = None,
+    nprocs: int = DEFAULT_NPROCS,
+    scale: str = "paper",
+) -> dict:
+    """Figure 1: dynamic behaviour of BL2D under a static P.
+
+    Returns the per-step series the figure plots: load imbalance (in
+    percent) and communication amount, against the time step.
+    """
+    if trace is None:
+        trace = paper_trace("bl2d", scale)
+    sim = TraceSimulator()
+    partitioner = _static_partitioner()
+    steps: list[int] = []
+    imbalance: list[float] = []
+    comm: list[float] = []
+    previous = None
+    for snap in trace:
+        result = partitioner.partition(snap.hierarchy, nprocs, previous)
+        loads = proc_loads(result, snap.hierarchy)
+        steps.append(snap.step)
+        imbalance.append(load_imbalance_percent(loads))
+        metrics = sim.measure_step(
+            snap.hierarchy, result, previous, None, step=snap.step
+        )
+        comm.append(metrics.relative_comm)
+        previous = result
+    return {
+        "trace": trace.name,
+        "nprocs": nprocs,
+        "step": np.array(steps),
+        "load_imbalance_percent": np.array(imbalance),
+        "relative_comm": np.array(comm),
+    }
+
+
+def figure_app(
+    name: str,
+    trace: Trace | None = None,
+    nprocs: int = DEFAULT_NPROCS,
+    scale: str = "paper",
+) -> dict:
+    """Figures 4-7: model penalties vs. measured behaviour for one app.
+
+    Left panel data: the actual relative communication and the penalty
+    ``beta_C``.  Right panel data: the actual relative data migration and
+    the penalty ``beta_m``.  Both pairs are superimposed without scaling
+    (section 5.1.4); trend statistics quantify the visual comparison.
+    """
+    if name not in APP_NAMES:
+        raise ValueError(f"unknown application {name!r}")
+    if trace is None:
+        trace = paper_trace(name, scale)
+    sim = TraceSimulator()
+    result = sim.run(trace, _static_partitioner(), nprocs)
+    sampler = StateSampler(nprocs=nprocs)
+    model = sampler.penalty_series(trace)
+    actual_comm = result.series("relative_comm")
+    actual_mig = result.series("relative_migration")
+    # Step 0 has no predecessor: drop it from migration statistics.
+    mig_model = model.beta_m[1:]
+    mig_actual = actual_mig[1:]
+    return {
+        "trace": trace.name,
+        "nprocs": nprocs,
+        "step": model.steps,
+        "actual_relative_comm": actual_comm,
+        "beta_c": model.beta_c,
+        "actual_relative_migration": actual_mig,
+        "beta_m": model.beta_m,
+        "comm_correlation": pearson(model.beta_c, actual_comm),
+        "migration_correlation": pearson(mig_model, mig_actual),
+        "comm_envelope_fraction": envelope_fraction(model.beta_c, actual_comm),
+        "migration_amplitude_ratio": amplitude_ratio(mig_model, mig_actual),
+        "migration_lead": best_lag(mig_model, mig_actual),
+        "comm_period_model": dominant_period(model.beta_c),
+        "comm_period_actual": dominant_period(actual_comm),
+        "migration_period_model": dominant_period(mig_model),
+        "migration_period_actual": dominant_period(mig_actual),
+    }
+
+
+def shape_report(
+    nprocs: int = DEFAULT_NPROCS, scale: str = "paper"
+) -> dict[str, dict]:
+    """Quantified section 5.2 claims for the whole suite.
+
+    Per application: do the penalties co-move with the measurements
+    (positive correlation), does ``beta_C`` form an aggressive upper
+    envelope, is ``beta_m`` cautious in amplitude, and do the oscillation
+    periods agree for the oscillatory applications?
+    """
+    out: dict[str, dict] = {}
+    for name in APP_NAMES:
+        fig = figure_app(name, nprocs=nprocs, scale=scale)
+        out[name] = {
+            "comm_correlation": fig["comm_correlation"],
+            "migration_correlation": fig["migration_correlation"],
+            "comm_envelope_fraction": fig["comm_envelope_fraction"],
+            "migration_amplitude_ratio": fig["migration_amplitude_ratio"],
+            "migration_lead": fig["migration_lead"],
+            "periods": {
+                "comm_model": fig["comm_period_model"],
+                "comm_actual": fig["comm_period_actual"],
+                "migration_model": fig["migration_period_model"],
+                "migration_actual": fig["migration_period_actual"],
+            },
+        }
+    return out
+
+
+def dimension2_series(
+    name: str = "bl2d",
+    trace: Trace | None = None,
+    nprocs: int = DEFAULT_NPROCS,
+    scale: str = "paper",
+) -> dict:
+    """The dimension-II trajectory: requested vs offered time (section 4.3)."""
+    if trace is None:
+        trace = paper_trace(name, scale)
+    sampler = StateSampler(nprocs=nprocs)
+    samples = sampler.sample_trace(trace)
+    return {
+        "trace": trace.name,
+        "step": np.array([s.step for s in samples]),
+        "requested_fraction": np.array(
+            [s.tradeoff2.requested_fraction for s in samples]
+        ),
+        "requested_seconds": np.array(
+            [s.tradeoff2.requested_seconds for s in samples]
+        ),
+        "offered_seconds": np.array(
+            [s.tradeoff2.offered_seconds for s in samples]
+        ),
+        "normalized_grid_size": np.array(
+            [s.tradeoff2.normalized_grid_size for s in samples]
+        ),
+        "dim2": np.array([s.point.dim2 for s in samples]),
+    }

@@ -1,0 +1,73 @@
+"""Canonical experiment workloads: the paper's four traces, cached.
+
+All experiments run off the same deterministic traces (seeded kernels, see
+:mod:`repro.apps`).  Two scales are provided:
+
+* ``"paper"`` — the paper's setup: 32x32 base grid, 5 levels of factor-2
+  refinement, 100 coarse steps, regrid every 4 (section 5.1.1);
+* ``"small"`` — a fast variant for unit tests and CI benchmarks.
+
+Traces are cached in memory per process, and optionally on disk.
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+from pathlib import Path
+
+from ..apps import TraceGenConfig, generate_trace, make_application
+from ..trace import Trace
+
+__all__ = ["APP_NAMES", "paper_config", "paper_trace", "all_paper_traces"]
+
+APP_NAMES: tuple[str, ...] = ("rm2d", "bl2d", "sc2d", "tp2d")
+"""The paper's application suite, in Figures 4-7 order."""
+
+
+def paper_config(scale: str = "paper") -> TraceGenConfig:
+    """Trace-generation parameters at the requested scale."""
+    if scale == "paper":
+        return TraceGenConfig(
+            base_shape=(64, 64),
+            max_levels=5,
+            nsteps=100,
+            regrid_interval=4,
+        )
+    if scale == "small":
+        return TraceGenConfig(
+            base_shape=(16, 16),
+            max_levels=3,
+            nsteps=20,
+            regrid_interval=4,
+        )
+    raise ValueError(f"scale must be 'paper' or 'small', got {scale!r}")
+
+
+def _shadow_shape(scale: str) -> tuple[int, int]:
+    return (256, 256) if scale == "paper" else (64, 64)
+
+
+@lru_cache(maxsize=None)
+def paper_trace(name: str, scale: str = "paper") -> Trace:
+    """The deterministic trace of one application at one scale."""
+    if name not in APP_NAMES:
+        raise ValueError(f"unknown application {name!r}; choose from {APP_NAMES}")
+    app = make_application(name, shape=_shadow_shape(scale))
+    return generate_trace(app, paper_config(scale))
+
+
+def all_paper_traces(scale: str = "paper") -> dict[str, Trace]:
+    """All four traces keyed by name."""
+    return {name: paper_trace(name, scale) for name in APP_NAMES}
+
+
+def save_traces(directory: str | Path, scale: str = "paper") -> list[Path]:
+    """Persist all traces as gzipped JSON under ``directory``."""
+    directory = Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+    out = []
+    for name in APP_NAMES:
+        path = directory / f"{name}_{scale}.json.gz"
+        paper_trace(name, scale).save(path)
+        out.append(path)
+    return out

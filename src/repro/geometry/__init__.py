@@ -1,0 +1,32 @@
+"""Integer box calculus, patch sets and rasterization for SAMR index spaces."""
+
+from .box import Box, bounding_box
+from .boxlist import (
+    BoxList,
+    coalesce_boxes,
+    intersection_volume,
+    subtract_boxes,
+    union_ncells,
+)
+from .raster import (
+    NO_OWNER,
+    boxes_from_mask,
+    paint_box,
+    rasterize_mask,
+    rasterize_owners,
+)
+
+__all__ = [
+    "Box",
+    "BoxList",
+    "bounding_box",
+    "coalesce_boxes",
+    "intersection_volume",
+    "subtract_boxes",
+    "union_ncells",
+    "NO_OWNER",
+    "boxes_from_mask",
+    "paint_box",
+    "rasterize_mask",
+    "rasterize_owners",
+]

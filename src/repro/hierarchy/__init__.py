@@ -1,0 +1,6 @@
+"""SAMR grid hierarchies: patch levels and properly-nested level stacks."""
+
+from .hierarchy import GridHierarchy
+from .level import PatchLevel
+
+__all__ = ["GridHierarchy", "PatchLevel"]

@@ -1,0 +1,107 @@
+"""A single refinement level of a SAMR grid hierarchy."""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator, Sequence
+
+from ..geometry import Box, BoxList
+
+__all__ = ["PatchLevel"]
+
+
+class PatchLevel:
+    """One refinement level: a disjoint patch set in the level's index space.
+
+    Parameters
+    ----------
+    index :
+        Level number; 0 is the base grid.
+    boxes :
+        Disjoint patches in this level's own (refined) index space.
+    ratio :
+        Refinement ratio of this level relative to level ``index - 1``
+        (the paper uses factor-2 refinement throughout; 1 for the base).
+
+    Notes
+    -----
+    With factor-2 refinement in *time* as well as space, level ``l``
+    executes ``2^l`` local time steps per coarse step; its workload weight
+    is therefore ``2^l`` flops-per-cell-units per coarse step.  That weight
+    is what the paper's "communication normalized with respect to work
+    load" (section 4.1) is built on.
+    """
+
+    __slots__ = ("index", "patches", "ratio")
+
+    def __init__(self, index: int, boxes: Iterable[Box], ratio: int = 2) -> None:
+        if index < 0:
+            raise ValueError("level index must be >= 0")
+        if ratio < 1:
+            raise ValueError("refinement ratio must be >= 1")
+        self.index = int(index)
+        self.ratio = int(ratio)
+        self.patches = boxes if isinstance(boxes, BoxList) else BoxList(boxes)
+
+    # -- container protocol ----------------------------------------------
+    def __iter__(self) -> Iterator[Box]:
+        return iter(self.patches)
+
+    def __len__(self) -> int:
+        return len(self.patches)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, PatchLevel):
+            return NotImplemented
+        return (
+            self.index == other.index
+            and self.ratio == other.ratio
+            and set(self.patches.boxes) == set(other.patches.boxes)
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"PatchLevel(l={self.index}, {len(self.patches)} patches, "
+            f"{self.ncells} cells)"
+        )
+
+    # -- queries -----------------------------------------------------------
+    @property
+    def ncells(self) -> int:
+        """Cell count of the level (disjoint patch sum)."""
+        return self.patches.ncells
+
+    @property
+    def npatches(self) -> int:
+        """Number of patches on this level."""
+        return len(self.patches)
+
+    def time_refinement_weight(self) -> int:
+        """Local time steps per coarse step: ``ratio ** index`` for uniform ratios."""
+        return self.ratio**self.index
+
+    @property
+    def workload(self) -> int:
+        """Cells times local steps per coarse step."""
+        return self.ncells * self.time_refinement_weight()
+
+    def validate(self) -> None:
+        """Check that the patch set is disjoint."""
+        self.patches.validate_disjoint()
+
+    # -- serialization -----------------------------------------------------
+    def to_json(self) -> dict:
+        """JSON form of the level."""
+        return {
+            "index": self.index,
+            "ratio": self.ratio,
+            "boxes": self.patches.to_json(),
+        }
+
+    @staticmethod
+    def from_json(data: dict) -> "PatchLevel":
+        """Inverse of :meth:`to_json`."""
+        return PatchLevel(
+            index=data["index"],
+            boxes=BoxList.from_json(data["boxes"]),
+            ratio=data.get("ratio", 2),
+        )

@@ -1,0 +1,15 @@
+"""The meta-partitioner (continuous) and the ArMADA octant baseline."""
+
+from .armada import ArmadaClassifier, ArmadaFeatures, armada_octant_table
+from .selector import MetaPartitioner, MetaPolicy, MetaScheduler
+from .timer import InvocationTimer
+
+__all__ = [
+    "ArmadaClassifier",
+    "ArmadaFeatures",
+    "armada_octant_table",
+    "MetaPartitioner",
+    "MetaPolicy",
+    "MetaScheduler",
+    "InvocationTimer",
+]

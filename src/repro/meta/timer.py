@@ -1,0 +1,66 @@
+"""Invocation timing for the dimension-II "offered slot" measurement.
+
+Section 4.3 (crediting a Part-I reviewer): "we propose that the
+partitioner when invoked calls a timer to determine the invocation
+intervals.  These timing calls will impose insignificant overhead,
+provided that the invocation frequency is small."  The timer supports a
+real clock for live use and an injectable clock for deterministic trace
+replay and tests.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Callable
+
+__all__ = ["InvocationTimer"]
+
+
+class InvocationTimer:
+    """Records the time between successive partitioner invocations.
+
+    Parameters
+    ----------
+    clock :
+        A monotonically non-decreasing zero-argument callable returning
+        seconds; defaults to :func:`time.monotonic`.  Trace replays inject
+        a simulated clock.
+    """
+
+    def __init__(self, clock: Callable[[], float] | None = None) -> None:
+        self._clock = clock or time.monotonic
+        self._last: float | None = None
+        self._intervals: list[float] = []
+
+    def tick(self) -> float | None:
+        """Record one invocation; return the interval since the previous.
+
+        The first invocation has no interval and returns ``None``.
+        """
+        now = self._clock()
+        if self._last is not None and now < self._last:
+            raise ValueError("clock went backwards")
+        interval = None if self._last is None else now - self._last
+        self._last = now
+        if interval is not None:
+            self._intervals.append(interval)
+        return interval
+
+    @property
+    def intervals(self) -> tuple[float, ...]:
+        """All recorded intervals, oldest first."""
+        return tuple(self._intervals)
+
+    def mean_interval(self, window: int | None = None) -> float | None:
+        """Mean of the last ``window`` intervals (all when ``None``)."""
+        if window is not None and window < 1:
+            raise ValueError("window must be >= 1")
+        if not self._intervals:
+            return None
+        data = self._intervals if window is None else self._intervals[-window:]
+        return sum(data) / len(data)
+
+    def reset(self) -> None:
+        """Forget all recorded history."""
+        self._last = None
+        self._intervals.clear()

@@ -1,0 +1,13 @@
+"""Grid-relative metrics enabling inter-application comparison (paper §4.1)."""
+
+from .relative import (
+    load_imbalance_percent,
+    relative_communication,
+    relative_migration,
+)
+
+__all__ = [
+    "load_imbalance_percent",
+    "relative_communication",
+    "relative_migration",
+]

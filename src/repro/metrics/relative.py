@@ -1,0 +1,77 @@
+"""Grid-relative metrics (section 4.1 of the paper).
+
+Load imbalance measured in percent is the de-facto standard; the paper's
+contribution (3) extends the idea to data migration and communication so
+that *inter-application* comparisons become possible:
+
+* **relative data migration** between ``t-1`` and ``t`` is the number of
+  migrated grid points normalized by ``|H_{t-1}|`` — 100 % means every
+  point of the old grid moved;
+* **relative communication** of a coarse step is the number of
+  point-communication events normalized by the *workload*
+  ``sum_l n_l * r^l`` — 100 % means every point communicated at every
+  local time step of the coarse step.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..hierarchy import GridHierarchy
+
+__all__ = [
+    "load_imbalance_percent",
+    "relative_migration",
+    "relative_communication",
+]
+
+
+def load_imbalance_percent(loads: np.ndarray) -> float:
+    """Load imbalance in percent: ``100 * (max/avg - 1)``.
+
+    The paper's de-facto standard metric — "the load of the heaviest
+    loaded processor divided by the average load" — expressed as the
+    percentage excess of the bottleneck rank.  0 % is perfect balance.
+    """
+    loads = np.asarray(loads, dtype=np.float64)
+    if loads.size == 0:
+        raise ValueError("loads must be non-empty")
+    if (loads < 0).any():
+        raise ValueError("loads must be non-negative")
+    avg = loads.mean()
+    if avg == 0:
+        return 0.0
+    return float(100.0 * (loads.max() / avg - 1.0))
+
+
+def relative_migration(migrated_points: int, previous: GridHierarchy) -> float:
+    """Migrated points / ``|H_{t-1}|`` (section 4.1).
+
+    "Data migration between time-steps t-1 and t should be normalized with
+    respect to grid size ... at time-step t-1.  Consequently, a
+    100-percent data migration translates to that all points in the grid
+    are moved."
+    """
+    if migrated_points < 0:
+        raise ValueError("migrated_points must be >= 0")
+    denom = previous.ncells
+    if denom == 0:
+        return 0.0
+    return migrated_points / denom
+
+
+def relative_communication(
+    comm_point_steps: int | float, hierarchy: GridHierarchy
+) -> float:
+    """Point-communication events / workload (section 4.1).
+
+    "A 100-percent communication at a coarse time-step would translate to
+    all points in the grid being involved in communications at all local
+    time steps involved in the particular coarse time-step."
+    """
+    if comm_point_steps < 0:
+        raise ValueError("comm_point_steps must be >= 0")
+    denom = hierarchy.workload
+    if denom == 0:
+        return 0.0
+    return float(comm_point_steps) / denom

@@ -1,0 +1,26 @@
+"""The paper's model: penalties, trade-offs and the classification space."""
+
+from .penalties import (
+    communication_penalty,
+    dimension1,
+    load_imbalance_penalty,
+    migration_penalty,
+)
+from .sampler import PenaltySeries, StateSample, StateSampler
+from .space import ClassificationPoint, StateTrajectory
+from .tradeoff2 import GridSizeTracker, Tradeoff2Model, Tradeoff2Sample
+
+__all__ = [
+    "communication_penalty",
+    "dimension1",
+    "load_imbalance_penalty",
+    "migration_penalty",
+    "PenaltySeries",
+    "StateSample",
+    "StateSampler",
+    "ClassificationPoint",
+    "StateTrajectory",
+    "GridSizeTracker",
+    "Tradeoff2Model",
+    "Tradeoff2Sample",
+]

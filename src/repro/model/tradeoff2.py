@@ -1,0 +1,142 @@
+"""Trade-off 2: partitioning speed vs. overall quality (dimension II).
+
+Section 4.3 lays out the theory: dimension II compares
+
+1. *how much time the partitioner would like to spend* — quantified as the
+   mean of the penalties (``beta_L``, ``beta_C``, ``beta_m``), which
+   approaches 1 exactly when optimization need is greatest, **multiplied
+   by the normalized grid size** ``|H_t| / max_{s<=t} |H_s|`` (the
+   "absolute importance of relative metrics" of section 4.2: a bad
+   partition of a tiny grid is not worth partitioner time; the same
+   badness at a grid-size peak is); and
+
+2. *what time slot the application can realistically offer* — measured by
+   the partitioner calling "a timer to determine the invocation
+   intervals": the more infrequently the partitioner is invoked, the
+   greater the time slot it can claim.
+
+The paper explicitly leaves the final normalization of (2) and the
+comparison of (1) and (2) to "hands-on, practical experimenting"
+(section 4.3, last paragraph).  Our concrete completion, documented as a
+reproduction decision:
+
+* the offered slot is ``slack * interval`` — a fixed fraction (default
+  10 %) of the measured inter-invocation interval is acceptable
+  partitioning overhead;
+* the requested slot converts (1) from "fraction of maximal desire" to
+  seconds by scaling with the cost of the highest-quality partitioner
+  configuration on the current hierarchy;
+* the dimension-II coordinate is ``requested / (requested + offered)``:
+  0 means quality is free (optimize quality), 1 means any time spent
+  partitioning is too much (optimize speed), 0.5 the break-even point.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["GridSizeTracker", "Tradeoff2Model", "Tradeoff2Sample"]
+
+
+class GridSizeTracker:
+    """Running maximum of hierarchy sizes (section 4.2).
+
+    "Optimally, we would like to normalize the current grid size with
+    respect to the largest of all grid hierarchies in the simulation.
+    Since this information is unavailable, we propose to normalize the
+    current grid size with respect to the largest grid encountered so far."
+    """
+
+    def __init__(self) -> None:
+        self._max_cells = 0
+
+    @property
+    def max_cells(self) -> int:
+        """Largest ``|H_s|`` observed so far."""
+        return self._max_cells
+
+    def observe(self, ncells: int) -> float:
+        """Record ``|H_t|`` and return the normalized size in ``(0, 1]``."""
+        if ncells < 0:
+            raise ValueError("ncells must be >= 0")
+        self._max_cells = max(self._max_cells, ncells)
+        if self._max_cells == 0:
+            return 0.0
+        return ncells / self._max_cells
+
+
+@dataclass(frozen=True, slots=True)
+class Tradeoff2Sample:
+    """One dimension-II evaluation with its intermediate quantities."""
+
+    requested_fraction: float
+    normalized_grid_size: float
+    requested_seconds: float
+    offered_seconds: float
+    dimension2: float
+
+
+class Tradeoff2Model:
+    """The speed-vs-quality comparator.
+
+    Parameters
+    ----------
+    slack :
+        Fraction of the inter-invocation interval the application can
+        afford to spend partitioning.
+    quality_cost_per_cell :
+        Seconds per hierarchy cell of the *highest-quality* partitioner
+        configuration (the price of maximal desire).
+    """
+
+    def __init__(
+        self, slack: float = 0.1, quality_cost_per_cell: float = 1e-6
+    ) -> None:
+        if not 0.0 < slack <= 1.0:
+            raise ValueError("slack must be in (0, 1]")
+        if quality_cost_per_cell <= 0:
+            raise ValueError("quality_cost_per_cell must be positive")
+        self.slack = slack
+        self.quality_cost_per_cell = quality_cost_per_cell
+
+    def evaluate(
+        self,
+        penalties: tuple[float, float, float],
+        ncells: int,
+        normalized_grid_size: float,
+        invocation_interval_seconds: float,
+    ) -> Tradeoff2Sample:
+        """Compute the dimension-II coordinate.
+
+        Parameters
+        ----------
+        penalties :
+            ``(beta_L, beta_C, beta_m)`` of the current state.
+        ncells :
+            ``|H_t|``.
+        normalized_grid_size :
+            ``|H_t| / max_{s<=t} |H_s|`` from :class:`GridSizeTracker`.
+        invocation_interval_seconds :
+            Measured time since the previous partitioner invocation.
+        """
+        for i, p in enumerate(penalties):
+            if not 0.0 <= p <= 1.0:
+                raise ValueError(f"penalty {i} must be in [0, 1], got {p}")
+        if not 0.0 <= normalized_grid_size <= 1.0:
+            raise ValueError("normalized_grid_size must be in [0, 1]")
+        if invocation_interval_seconds < 0:
+            raise ValueError("invocation interval must be >= 0")
+        requested_fraction = (sum(penalties) / 3.0) * normalized_grid_size
+        requested_seconds = (
+            requested_fraction * self.quality_cost_per_cell * ncells
+        )
+        offered_seconds = self.slack * invocation_interval_seconds
+        total = requested_seconds + offered_seconds
+        dim2 = 0.5 if total == 0 else requested_seconds / total
+        return Tradeoff2Sample(
+            requested_fraction=requested_fraction,
+            normalized_grid_size=normalized_grid_size,
+            requested_seconds=requested_seconds,
+            offered_seconds=offered_seconds,
+            dimension2=dim2,
+        )

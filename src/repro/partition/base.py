@@ -1,0 +1,149 @@
+"""Partitioner interfaces and the distribution container.
+
+A partitioner maps a :class:`~repro.hierarchy.GridHierarchy` onto ``P``
+processors.  Distributions are represented as per-level *owner rasters*:
+dense ``int32`` arrays over each level's index space holding the owning
+rank for refined cells and :data:`~repro.geometry.NO_OWNER` elsewhere.
+Rasters keep every downstream metric (load, ghost communication,
+migration) a vectorized numpy reduction.
+
+The P of the paper's PAC-triple is a :class:`Partitioner` instance; its
+parameters are what the meta-partitioner tunes at run time.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..geometry import NO_OWNER
+from ..hierarchy import GridHierarchy
+
+__all__ = ["PartitionResult", "Partitioner", "level_weights", "proc_loads"]
+
+
+def level_weights(hierarchy: GridHierarchy) -> list[int]:
+    """Per-cell workload weight of each level: local steps per coarse step."""
+    return [level.time_refinement_weight() for level in hierarchy]
+
+
+@dataclass(frozen=True)
+class PartitionResult:
+    """A distribution of one hierarchy over ``nprocs`` ranks.
+
+    Parameters
+    ----------
+    owners :
+        One raster per level; shape equals the level's index space, values
+        in ``{NO_OWNER} ∪ [0, nprocs)``, with exactly the refined cells
+        owned.
+    nprocs :
+        Number of processors.
+    partition_seconds :
+        Modeled cost of computing this distribution (consumed by the
+        dimension-II speed-vs-quality trade-off).
+    """
+
+    owners: tuple[np.ndarray, ...]
+    nprocs: int
+    partition_seconds: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.nprocs < 1:
+            raise ValueError("nprocs must be >= 1")
+        object.__setattr__(self, "owners", tuple(self.owners))
+        for raster in self.owners:
+            if raster.dtype != np.int32:
+                raise ValueError("owner rasters must be int32")
+
+    @property
+    def nlevels(self) -> int:
+        """Number of level rasters."""
+        return len(self.owners)
+
+    def validate(self, hierarchy: GridHierarchy) -> None:
+        """Check the distribution is complete and consistent.
+
+        Every refined cell of every level must be owned by a valid rank and
+        no unrefined cell may be owned.
+        """
+        if self.nlevels != hierarchy.nlevels:
+            raise ValueError(
+                f"{self.nlevels} rasters for {hierarchy.nlevels} levels"
+            )
+        for level in hierarchy:
+            raster = self.owners[level.index]
+            expected_shape = hierarchy.level_domain(level.index).shape
+            if raster.shape != expected_shape:
+                raise ValueError(
+                    f"level {level.index} raster shape {raster.shape} != "
+                    f"domain {expected_shape}"
+                )
+            mask = hierarchy.level_mask(level.index)
+            owned = raster != NO_OWNER
+            if not (owned == mask).all():
+                missing = int((mask & ~owned).sum())
+                extra = int((owned & ~mask).sum())
+                raise ValueError(
+                    f"level {level.index}: {missing} refined cells unowned, "
+                    f"{extra} unrefined cells owned"
+                )
+            if owned.any():
+                vals = raster[owned]
+                if vals.min() < 0 or vals.max() >= self.nprocs:
+                    raise ValueError(
+                        f"level {level.index}: owner ranks outside [0, {self.nprocs})"
+                    )
+
+    def loads(self, hierarchy: GridHierarchy) -> np.ndarray:
+        """Per-rank computational load (cells x local steps per coarse step)."""
+        return proc_loads(self, hierarchy)
+
+
+def proc_loads(result: PartitionResult, hierarchy: GridHierarchy) -> np.ndarray:
+    """Per-rank workload of a distribution: ``sum_l w_l * cells_l(rank)``."""
+    loads = np.zeros(result.nprocs, dtype=np.float64)
+    for level, raster in zip(hierarchy, result.owners):
+        owned = raster[raster != NO_OWNER]
+        if owned.size:
+            counts = np.bincount(owned, minlength=result.nprocs)
+            loads += counts * float(level.time_refinement_weight())
+    return loads
+
+
+class Partitioner(abc.ABC):
+    """Base class of all partitioning strategies.
+
+    Subclasses implement :meth:`partition`; ``previous`` carries the last
+    distribution so incremental strategies (the sticky remapper) can
+    minimize data migration.  Stateless strategies ignore it.
+    """
+
+    #: short identifier used in experiment tables
+    name: str = "abstract"
+
+    @abc.abstractmethod
+    def partition(
+        self,
+        hierarchy: GridHierarchy,
+        nprocs: int,
+        previous: PartitionResult | None = None,
+    ) -> PartitionResult:
+        """Distribute ``hierarchy`` over ``nprocs`` ranks."""
+
+    def cost_seconds(self, hierarchy: GridHierarchy, nprocs: int) -> float:
+        """Modeled partitioning cost (dimension-II input).
+
+        Default model: linear in total cells and patch count.  Subclasses
+        scale it by their own complexity factor.
+        """
+        return 1e-7 * hierarchy.ncells + 1e-5 * hierarchy.npatches
+
+    def describe(self) -> dict:
+        """Parameter dictionary for experiment provenance."""
+        return {"name": self.name}
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{type(self).__name__}({self.describe()})"

@@ -1,0 +1,341 @@
+"""Nature+Fable: the hybrid partitioner used in the paper's validation.
+
+Nature+Fable (Natural Regions + Fractional blocking and bi-level
+partitioning, section 2.2) is the Uppsala/Rutgers hybrid that the paper
+partitions all four traces with ("static 'default' values", section
+5.1.2).  Its structure, reproduced here:
+
+1. **Hue/Core separation** (strictly domain-based): the base grid is split
+   into homogeneous unrefined regions (*Hues*, level-0 cells only) and
+   complex refined regions (*Cores*, a base-grid portion plus all overlaid
+   refined grids).  Cores are the connected components of the refined
+   footprint.
+2. **Meta-partitioning**: each Core (and the Hue remainder) becomes a
+   meta-partition mapped to a contiguous group of processors sized
+   proportionally to its workload.
+3. **Bi-level clustering**: inside a Core, refinement levels are clustered
+   pairwise into bi-levels ``(0,1), (2,3), ...``; both levels of a
+   bi-level share one decomposition, eliminating intra-bi-level parent-
+   child communication.
+4. **Expert blocking**: each bi-level region is decomposed into atomic
+   blocks, ordered along an SFC ("partially ordered", i.e. Morton, per the
+   paper's remark), and assigned to the group's ranks; the same blocking
+   engine partitions the Hues.
+
+Steering parameters (section 4, "to focus on load balance ... choose a
+small atomic unit, select a large Q, choose fractional blocking"):
+``atomic_unit`` (block side), ``q`` (chunks per rank in the coarse
+assignment; ``q > 1`` trades locality for balance via LPT over chunks) and
+``fractional_blocking`` (cell-granularity boundary blocks).
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass
+
+import numpy as np
+from scipy import ndimage
+
+from ..geometry import NO_OWNER
+from ..hierarchy import GridHierarchy
+from ..sfc import sfc_order
+from .base import PartitionResult, Partitioner
+from .chains import greedy_chains, segments_to_ranks
+
+__all__ = ["NatureFableParams", "NaturePlusFable"]
+
+
+@dataclass(frozen=True, slots=True)
+class NatureFableParams:
+    """Steering parameters of Nature+Fable (the paper's defaults)."""
+
+    atomic_unit: int = 4
+    q: int = 1
+    fractional_blocking: bool = False
+    curve: str = "morton"
+    bilevel_size: int = 2
+
+    def __post_init__(self) -> None:
+        if self.atomic_unit < 1:
+            raise ValueError("atomic_unit must be >= 1")
+        if self.q < 1:
+            raise ValueError("q must be >= 1")
+        if self.curve not in ("morton", "hilbert"):
+            raise ValueError("curve must be 'morton' or 'hilbert'")
+        if self.bilevel_size < 1:
+            raise ValueError("bilevel_size must be >= 1")
+
+    def balance_focused(self) -> "NatureFableParams":
+        """The load-balance-focused configuration of section 4."""
+        return NatureFableParams(
+            atomic_unit=1,
+            q=max(2, self.q),
+            fractional_blocking=True,
+            curve=self.curve,
+            bilevel_size=self.bilevel_size,
+        )
+
+    def locality_focused(self) -> "NatureFableParams":
+        """The communication-focused configuration (large blocks, contiguous)."""
+        return NatureFableParams(
+            atomic_unit=max(4, self.atomic_unit),
+            q=1,
+            fractional_blocking=False,
+            curve="hilbert",
+            bilevel_size=self.bilevel_size,
+        )
+
+
+def _assign_sequence(
+    weights: np.ndarray, ranks: np.ndarray, q: int
+) -> np.ndarray:
+    """Assign an SFC-ordered weight sequence to the given ranks.
+
+    ``q == 1``: contiguous chains (maximum locality).  ``q > 1``: the
+    sequence is cut into ``len(ranks) * q`` equal-weight chunks which are
+    then LPT-balanced over the ranks — better balance, more surface.
+    Returns a per-element rank array.
+    """
+    g = ranks.size
+    if g == 1:
+        return np.full(weights.size, ranks[0], dtype=np.int32)
+    if q == 1:
+        bounds = greedy_chains(weights, g)
+        local = segments_to_ranks(bounds, weights.size)
+        return ranks[local].astype(np.int32)
+    nchunks = g * q
+    bounds = greedy_chains(weights, nchunks)
+    chunk_weights = np.add.reduceat(
+        np.concatenate((weights, [0.0])), np.minimum(bounds[:-1], weights.size)
+    )
+    chunk_weights[bounds[:-1] == bounds[1:]] = 0.0
+    heap = [(0.0, int(r)) for r in ranks]
+    heapq.heapify(heap)
+    order = np.argsort(-chunk_weights, kind="stable")
+    chunk_rank = np.empty(nchunks, dtype=np.int32)
+    for c in order:
+        load, r = heapq.heappop(heap)
+        chunk_rank[c] = r
+        heapq.heappush(heap, (load + float(chunk_weights[c]), r))
+    out = np.empty(weights.size, dtype=np.int32)
+    for c in range(nchunks):
+        out[bounds[c] : bounds[c + 1]] = chunk_rank[c]
+    return out
+
+
+class NaturePlusFable(Partitioner):
+    """The hybrid Hue/Core bi-level partitioner (see module docstring)."""
+
+    name = "nature+fable"
+
+    def __init__(self, params: NatureFableParams | None = None) -> None:
+        self.params = params or NatureFableParams()
+
+    def describe(self) -> dict:
+        p = self.params
+        return {
+            "name": self.name,
+            "atomic_unit": p.atomic_unit,
+            "q": p.q,
+            "fractional_blocking": p.fractional_blocking,
+            "curve": p.curve,
+            "bilevel_size": p.bilevel_size,
+        }
+
+    def cost_seconds(self, hierarchy: GridHierarchy, nprocs: int) -> float:
+        base = super().cost_seconds(hierarchy, nprocs)
+        factor = 1.5 + 0.5 * self.params.q
+        if self.params.fractional_blocking:
+            factor += 0.5
+        if self.params.curve == "hilbert":
+            factor += 1.0
+        return base * factor
+
+    # ------------------------------------------------------------------
+    def partition(
+        self,
+        hierarchy: GridHierarchy,
+        nprocs: int,
+        previous: PartitionResult | None = None,
+    ) -> PartitionResult:
+        p = self.params
+        base_shape = hierarchy.domain.shape
+        rasters = [
+            np.full(hierarchy.level_domain(l).shape, NO_OWNER, dtype=np.int32)
+            for l in range(hierarchy.nlevels)
+        ]
+        # --- 1. Hue/Core separation -----------------------------------
+        refined = hierarchy.refined_mask_on_base()
+        labels, ncores = ndimage.label(refined)
+        hue_mask = ~refined
+        # Workloads: column workload of each base cell.
+        col_work = self._column_work(hierarchy)
+        core_work = ndimage.sum_labels(
+            col_work, labels, index=np.arange(1, ncores + 1)
+        ) if ncores else np.zeros(0)
+        hue_work = float(col_work[hue_mask].sum())
+        # --- 2. Meta-partitioning: contiguous rank groups --------------
+        regions = [("hue", hue_mask, hue_work)] if hue_mask.any() else []
+        for c in range(ncores):
+            regions.append((f"core{c}", labels == c + 1, float(core_work[c])))
+        groups = self._allocate_groups([w for _, _, w in regions], nprocs)
+        # --- 3+4. Blocking within each meta-partition -------------------
+        for (kind, mask, _), ranks in zip(regions, groups):
+            if kind == "hue":
+                self._block_hue(hierarchy, mask, ranks, rasters)
+            else:
+                self._block_core(hierarchy, mask, ranks, rasters)
+        return PartitionResult(
+            owners=tuple(rasters),
+            nprocs=nprocs,
+            partition_seconds=self.cost_seconds(hierarchy, nprocs),
+        )
+
+    # ------------------------------------------------------------------
+    def _column_work(self, hierarchy: GridHierarchy) -> np.ndarray:
+        """Workload of the refinement column above each base cell."""
+        bx, by = hierarchy.domain.shape
+        work = np.zeros((bx, by), dtype=np.float64)
+        for level in hierarchy:
+            mask = hierarchy.level_mask(level.index)
+            ratio = hierarchy.cumulative_ratio(level.index)
+            counts = mask.reshape(bx, ratio, by, ratio).sum(axis=(1, 3))
+            work += counts * float(level.time_refinement_weight())
+        return work
+
+    @staticmethod
+    def _allocate_groups(workloads: list[float], nprocs: int) -> list[np.ndarray]:
+        """Contiguous rank ranges proportional to workload (>= 1 rank each).
+
+        Group boundaries are the *rounded cumulative* workload fractions,
+        so a small drift in one region's workload moves at most the
+        adjacent boundary by one rank — keeping rank assignment stable
+        across regrids (wholesale group reshuffles would show up as pure
+        partitioner-noise data migration).
+        """
+        n = len(workloads)
+        if n == 0:
+            return []
+        w = np.asarray(workloads, dtype=np.float64)
+        w = np.maximum(w, 1e-12)
+        if n >= nprocs:
+            # More meta-partitions than ranks: round-robin whole groups.
+            return [np.array([i % nprocs]) for i in range(n)]
+        cum = np.concatenate(([0.0], np.cumsum(w))) / w.sum()
+        bounds = np.rint(cum * nprocs).astype(np.int64)
+        bounds[0], bounds[-1] = 0, nprocs
+        # Guarantee non-empty groups by nudging collapsed boundaries.
+        for i in range(1, n + 1):
+            if bounds[i] <= bounds[i - 1]:
+                bounds[i] = bounds[i - 1] + 1
+        overflow = bounds[-1] - nprocs
+        if overflow > 0:
+            # Pull back from the right while preserving >= 1 rank each.
+            for i in range(n - 1, 0, -1):
+                if overflow == 0:
+                    break
+                shrinkable = bounds[i] - bounds[i - 1] - 1
+                give = min(shrinkable, overflow)
+                bounds[i:n] -= give
+                overflow -= give
+            bounds[-1] = nprocs
+        return [np.arange(bounds[i], bounds[i + 1]) for i in range(n)]
+
+    def _block_hue(
+        self,
+        hierarchy: GridHierarchy,
+        mask: np.ndarray,
+        ranks: np.ndarray,
+        rasters: list[np.ndarray],
+    ) -> None:
+        """Expert blocking of the unrefined base-grid remainder (level 0)."""
+        owner = self._block_region(mask.astype(np.float64), mask, ranks, unit=1)
+        rasters[0][mask] = owner[mask]
+
+    def _block_core(
+        self,
+        hierarchy: GridHierarchy,
+        core_mask: np.ndarray,
+        ranks: np.ndarray,
+        rasters: list[np.ndarray],
+    ) -> None:
+        """Bi-level blocking of one Core region."""
+        p = self.params
+        nlev = hierarchy.nlevels
+        for lc in range(0, nlev, p.bilevel_size):
+            lf_range = range(lc, min(lc + p.bilevel_size, nlev))
+            coarse_ratio = hierarchy.cumulative_ratio(lc)
+            cx = core_mask.shape[0] * coarse_ratio
+            cy = core_mask.shape[1] * coarse_ratio
+            core_at_lc = np.repeat(
+                np.repeat(core_mask, coarse_ratio, axis=0), coarse_ratio, axis=1
+            )
+            # Combined weight raster at the bi-level's coarse resolution.
+            weight = np.zeros((cx, cy), dtype=np.float64)
+            present = np.zeros((cx, cy), dtype=bool)
+            for lf in lf_range:
+                mask = hierarchy.level_mask(lf)
+                sub = hierarchy.cumulative_ratio(lf) // coarse_ratio
+                counts = mask.reshape(cx, sub, cy, sub).sum(axis=(1, 3))
+                weight += counts * float(
+                    hierarchy[lf].time_refinement_weight()
+                )
+                present |= counts > 0
+            present &= core_at_lc
+            if not present.any():
+                continue
+            weight = np.where(present, weight, 0.0)
+            unit = 1 if p.fractional_blocking else p.atomic_unit
+            owner = self._block_region(weight, present, ranks, unit=unit)
+            # Paint every member level of the bi-level from one decomposition.
+            for lf in lf_range:
+                sub = hierarchy.cumulative_ratio(lf) // coarse_ratio
+                fine_owner = np.repeat(np.repeat(owner, sub, axis=0), sub, axis=1)
+                mask = hierarchy.level_mask(lf)
+                core_at_lf = np.repeat(
+                    np.repeat(core_at_lc, sub, axis=0), sub, axis=1
+                )
+                sel = mask & core_at_lf
+                rasters[lf][sel] = fine_owner[sel]
+
+    def _block_region(
+        self,
+        weight: np.ndarray,
+        present: np.ndarray,
+        ranks: np.ndarray,
+        unit: int,
+    ) -> np.ndarray:
+        """SFC-ordered atomic-block assignment of one region.
+
+        Returns an owner raster over the full index space of ``weight``
+        (values meaningless outside ``present``).
+        """
+        p = self.params
+        nx, ny = weight.shape
+        ux = -(-nx // unit)
+        uy = -(-ny // unit)
+        pad_x, pad_y = ux * unit - nx, uy * unit - ny
+        wpad = np.pad(weight, ((0, pad_x), (0, pad_y)))
+        unit_w = wpad.reshape(ux, unit, uy, unit).sum(axis=(1, 3))
+        ix, iy = np.meshgrid(np.arange(ux), np.arange(uy), indexing="ij")
+        nonzero = unit_w.ravel() > 0
+        order_bits = max(1, int(np.ceil(np.log2(max(ux, uy)))))
+        order = sfc_order(
+            ix.ravel()[nonzero], iy.ravel()[nonzero], curve=p.curve, order=order_bits
+        )
+        seq_w = unit_w.ravel()[nonzero][order]
+        seq_rank = _assign_sequence(seq_w, ranks, p.q)
+        unit_owner = np.full(ux * uy, NO_OWNER, dtype=np.int32)
+        flat_idx = np.flatnonzero(nonzero)[order]
+        unit_owner[flat_idx] = seq_rank
+        unit_owner = unit_owner.reshape(ux, uy)
+        owner = np.repeat(np.repeat(unit_owner, unit, axis=0), unit, axis=1)
+        owner = owner[:nx, :ny]
+        # Cells in `present` whose unit had zero aggregate weight (possible
+        # when `present` marks presence but weights vanish) inherit the
+        # group's first rank.
+        fallback = present & (owner == NO_OWNER)
+        owner = owner.copy()
+        owner[fallback] = ranks[0]
+        return owner

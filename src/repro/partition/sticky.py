@@ -1,0 +1,169 @@
+"""Migration-minimizing incremental remapper ("diffusion-like" repartitioning).
+
+Section 4 of the paper notes that, unlike the other trade-offs, data
+migration has *no unique counterpart*: one can attack it by "invoking some
+kind of post mapping technique or switching methods to a more
+'diffusion-like' one" — whatever the current partitioning's weaknesses,
+they are what gets traded away.  The optimal amount of migration is zero:
+keep all data where it is.
+
+:class:`StickyRepartitioner` realizes that family of strategies.  It wraps
+any inner partitioner and, at each regrid:
+
+1. keeps the previous owner for every cell that persists from ``H_{t-1}``
+   to ``H_t`` (zero migration for surviving data);
+2. gives newly-created cells their inner-partitioner owner (new data is
+   interpolated in place, not migrated);
+3. runs a *bounded diffusion pass*: while the load imbalance exceeds
+   ``imbalance_tolerance``, cells of the most-loaded rank are re-assigned
+   to the rank the fresh inner partition chose for them, in deterministic
+   scan order, up to ``migration_budget`` (a fraction of ``|H_{t-1}|``).
+
+With a zero budget it degenerates to pure ownership persistence; with an
+infinite budget and zero tolerance it converges to the inner partitioner's
+fresh answer.  The meta-partitioner moves along exactly this dial when
+dimension III says migration is (or is not) worth optimizing.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..geometry import NO_OWNER
+from ..hierarchy import GridHierarchy
+from .base import PartitionResult, Partitioner, proc_loads
+
+__all__ = ["StickyRepartitioner"]
+
+
+class StickyRepartitioner(Partitioner):
+    """Ownership-persistent wrapper around an inner partitioner.
+
+    Parameters
+    ----------
+    inner :
+        The partitioner producing fresh target distributions.
+    imbalance_tolerance :
+        Acceptable ``max/avg`` load ratio before diffusion kicks in
+        (1.0 = perfect balance required; typical 1.1--1.5).
+    migration_budget :
+        Upper bound on diffused cells per regrid, as a fraction of the
+        previous hierarchy's size.  ``None`` = unbounded.
+    """
+
+    name = "sticky"
+
+    def __init__(
+        self,
+        inner: Partitioner,
+        imbalance_tolerance: float = 1.25,
+        migration_budget: float | None = 0.25,
+    ) -> None:
+        if imbalance_tolerance < 1.0:
+            raise ValueError("imbalance_tolerance must be >= 1.0")
+        if migration_budget is not None and migration_budget < 0:
+            raise ValueError("migration_budget must be >= 0")
+        self.inner = inner
+        self.imbalance_tolerance = imbalance_tolerance
+        self.migration_budget = migration_budget
+
+    def describe(self) -> dict:
+        return {
+            "name": self.name,
+            "inner": self.inner.describe(),
+            "imbalance_tolerance": self.imbalance_tolerance,
+            "migration_budget": self.migration_budget,
+        }
+
+    def cost_seconds(self, hierarchy: GridHierarchy, nprocs: int) -> float:
+        # One fresh inner run plus a cheap diffusion sweep.
+        return self.inner.cost_seconds(hierarchy, nprocs) * 1.2
+
+    def partition(
+        self,
+        hierarchy: GridHierarchy,
+        nprocs: int,
+        previous: PartitionResult | None = None,
+    ) -> PartitionResult:
+        fresh = self.inner.partition(hierarchy, nprocs, previous)
+        if previous is None or previous.nprocs != nprocs:
+            return PartitionResult(
+                owners=fresh.owners,
+                nprocs=nprocs,
+                partition_seconds=self.cost_seconds(hierarchy, nprocs),
+            )
+        rasters: list[np.ndarray] = []
+        prev_cells = 0
+        for l in range(hierarchy.nlevels):
+            target = fresh.owners[l]
+            raster = target.copy()
+            if l < previous.nlevels:
+                prev = previous.owners[l]
+                if prev.shape == raster.shape:
+                    persists = (prev != NO_OWNER) & (raster != NO_OWNER)
+                    raster[persists] = prev[persists]
+                    prev_cells += int((prev != NO_OWNER).sum())
+            rasters.append(raster)
+        result = PartitionResult(owners=tuple(rasters), nprocs=nprocs)
+        self._diffuse(result, fresh, hierarchy, prev_cells)
+        return PartitionResult(
+            owners=result.owners,
+            nprocs=nprocs,
+            partition_seconds=self.cost_seconds(hierarchy, nprocs),
+        )
+
+    # ------------------------------------------------------------------
+    def _diffuse(
+        self,
+        result: PartitionResult,
+        fresh: PartitionResult,
+        hierarchy: GridHierarchy,
+        prev_cells: int,
+    ) -> None:
+        """Bounded load diffusion towards the fresh target distribution."""
+        budget = (
+            None
+            if self.migration_budget is None
+            else int(self.migration_budget * prev_cells)
+        )
+        if budget == 0:
+            return
+        loads = proc_loads(result, hierarchy)
+        moved = 0
+        # Iterate overloaded ranks; move their cells towards the fresh owner.
+        for _ in range(8 * result.nprocs):
+            avg = loads.mean()
+            if avg <= 0:
+                return
+            worst = int(np.argmax(loads))
+            if loads[worst] <= self.imbalance_tolerance * avg:
+                return
+            progress = False
+            for l in range(hierarchy.nlevels):
+                raster = result.owners[l]
+                target = fresh.owners[l]
+                w = float(hierarchy[l].time_refinement_weight())
+                movable = (raster == worst) & (target != worst) & (target != NO_OWNER)
+                idx = np.flatnonzero(movable.ravel())
+                if idx.size == 0:
+                    continue
+                # How many cells bring `worst` back under tolerance?
+                excess = (loads[worst] - self.imbalance_tolerance * avg) / w
+                take = int(min(idx.size, max(1, np.ceil(excess))))
+                if budget is not None:
+                    take = min(take, budget - moved)
+                    if take <= 0:
+                        return
+                chosen = idx[:take]
+                flat_r = raster.ravel()
+                flat_t = target.ravel()
+                dest = flat_t[chosen]
+                flat_r[chosen] = dest
+                counts = np.bincount(dest, minlength=result.nprocs)
+                loads += counts * w
+                loads[worst] -= take * w
+                moved += take
+                progress = True
+                break
+            if not progress:
+                return

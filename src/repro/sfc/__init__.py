@@ -1,0 +1,17 @@
+"""Space-filling curves (Morton / Hilbert) for domain-based partitioning."""
+
+from .curves import (
+    hilbert_inverse,
+    hilbert_key,
+    morton_inverse,
+    morton_key,
+    sfc_order,
+)
+
+__all__ = [
+    "hilbert_inverse",
+    "hilbert_key",
+    "morton_inverse",
+    "morton_key",
+    "sfc_order",
+]

@@ -1,0 +1,148 @@
+"""Vectorized per-distribution metrics on owner rasters.
+
+Everything the execution simulator measures — ghost-cell exchange volume,
+parent-child (inter-level) transfer volume, data migration between
+consecutive distributions and per-rank loads — reduces to numpy
+comparisons on owner rasters.  These functions are the exact counterparts
+of the quantities the Rutgers trace-driven simulator reports (section
+5.1.3: "load balance, communication, data migration, and overheads").
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..geometry import NO_OWNER
+from ..hierarchy import GridHierarchy
+from ..partition import PartitionResult
+
+__all__ = [
+    "ghost_exchange_cells",
+    "ghost_message_pairs",
+    "interlevel_transfer_cells",
+    "migration_cells",
+    "per_rank_comm_cells",
+]
+
+
+def ghost_exchange_cells(raster: np.ndarray, ghost_width: int = 1) -> int:
+    """Cells exchanged per local step across rank boundaries of one level.
+
+    Every face between two refined cells with different owners moves
+    ``ghost_width`` cells in each direction per local time step (standard
+    Berger--Colella ghost-region fill).
+    """
+    if ghost_width < 0:
+        raise ValueError("ghost_width must be >= 0")
+    total = 0
+    for axis in range(raster.ndim):
+        a = np.moveaxis(raster, axis, 0)[:-1]
+        b = np.moveaxis(raster, axis, 0)[1:]
+        faces = (a != NO_OWNER) & (b != NO_OWNER) & (a != b)
+        total += int(faces.sum())
+    return 2 * ghost_width * total
+
+
+def ghost_message_pairs(raster: np.ndarray) -> int:
+    """Distinct communicating (owner, owner) neighbour pairs of one level.
+
+    Approximates the per-step message count of the ghost exchange (each
+    adjacent rank pair exchanges one message per direction per step).
+    """
+    pairs: set[tuple[int, int]] = set()
+    for axis in range(raster.ndim):
+        a = np.moveaxis(raster, axis, 0)[:-1]
+        b = np.moveaxis(raster, axis, 0)[1:]
+        faces = (a != NO_OWNER) & (b != NO_OWNER) & (a != b)
+        if faces.any():
+            av = a[faces].astype(np.int64)
+            bv = b[faces].astype(np.int64)
+            lo = np.minimum(av, bv)
+            hi = np.maximum(av, bv)
+            pairs.update(zip(lo.tolist(), hi.tolist()))
+    return 2 * len(pairs)
+
+
+def per_rank_comm_cells(
+    raster: np.ndarray, nprocs: int, ghost_width: int = 1
+) -> np.ndarray:
+    """Ghost cells sent+received per rank per local step (one level)."""
+    counts = np.zeros(nprocs, dtype=np.int64)
+    for axis in range(raster.ndim):
+        a = np.moveaxis(raster, axis, 0)[:-1]
+        b = np.moveaxis(raster, axis, 0)[1:]
+        faces = (a != NO_OWNER) & (b != NO_OWNER) & (a != b)
+        if faces.any():
+            counts += np.bincount(a[faces], minlength=nprocs)
+            counts += np.bincount(b[faces], minlength=nprocs)
+    return counts * ghost_width
+
+
+def interlevel_transfer_cells(
+    coarse: np.ndarray, fine: np.ndarray, ratio: int
+) -> int:
+    """Fine cells whose parent coarse cell lives on a different rank.
+
+    Each such cell crosses ranks during prolongation (parent -> child
+    ghost fill) and restriction (child -> parent update); domain-based
+    partitioners drive this to zero by construction.
+    """
+    if ratio < 1:
+        raise ValueError("ratio must be >= 1")
+    expected = tuple(s * ratio for s in coarse.shape)
+    if fine.shape != expected:
+        raise ValueError(
+            f"fine shape {fine.shape} does not equal coarse {coarse.shape} x {ratio}"
+        )
+    parent = np.repeat(np.repeat(coarse, ratio, axis=0), ratio, axis=1)
+    mask = (fine != NO_OWNER) & (parent != NO_OWNER) & (fine != parent)
+    return int(mask.sum())
+
+
+def migration_cells(prev: PartitionResult, cur: PartitionResult) -> int:
+    """Redistribution traffic between two consecutive distributions.
+
+    Berger--Colella regridding initializes every cell of the new hierarchy
+    from the old one: a cell that existed at the same level copies its own
+    old data; a newly-refined cell interpolates from its nearest refined
+    ancestor in the old hierarchy (its parent column; level 0 always
+    exists).  The *migrated* points are those whose data source lives on a
+    different rank than their new owner — exactly the cross-processor
+    traffic of the redistribution phase that the paper's relative-migration
+    metric (section 4.1) measures.
+
+    Counting only persisting-cell owner changes would under-count moving
+    refinement fronts (their new cells dominate) and artificially cap
+    migration at the hierarchy overlap; the data-source formulation avoids
+    both.
+    """
+    total = 0
+    source: np.ndarray | None = None
+    for l in range(cur.nlevels):
+        b = cur.owners[l]
+        if source is None:
+            if prev.owners[0].shape != b.shape:
+                raise ValueError(
+                    f"level 0 raster shapes differ: {prev.owners[0].shape} "
+                    f"vs {b.shape}"
+                )
+            src_l = prev.owners[0]
+        else:
+            if b.shape[0] % source.shape[0]:
+                raise ValueError(
+                    f"level {l} shape {b.shape} not a multiple of level "
+                    f"{l - 1} shape {source.shape}"
+                )
+            ratio = b.shape[0] // source.shape[0]
+            src_l = np.repeat(np.repeat(source, ratio, axis=0), ratio, axis=1)
+        if l < prev.nlevels:
+            pl = prev.owners[l]
+            if pl.shape != b.shape:
+                raise ValueError(
+                    f"level {l} raster shapes differ: {pl.shape} vs {b.shape}"
+                )
+            src_l = np.where(pl != NO_OWNER, pl, src_l)
+        owned = b != NO_OWNER
+        total += int((owned & (src_l != b)).sum())
+        source = src_l
+    return total

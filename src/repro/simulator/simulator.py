@@ -1,0 +1,270 @@
+"""The trace-driven Berger--Colella execution simulator.
+
+This is our rebuild of the Rutgers TASSL simulator the paper relies on
+(section 5.1.3): it replays an application trace — the partition-
+independent sequence of grid-hierarchy snapshots — under a chosen
+partitioner and processor count, and reports, per regrid step, "the
+performance of the partitioning configuration ... using a metric with the
+components load balance, communication, data migration, and overheads".
+
+Per coarse time-step the simulated schedule is the standard
+Berger--Colella recursion with factor-2 time refinement: level ``l``
+advances ``2^l`` local steps, exchanging ghost regions at every local step
+and synchronizing with its parent at every parent step.  All metrics are
+raster reductions (:mod:`repro.simulator.raster_metrics`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..hierarchy import GridHierarchy
+from ..metrics import relative_communication, relative_migration
+from ..partition import PartitionResult, Partitioner, proc_loads
+from ..trace import Trace
+from .machine import MachineModel
+from .raster_metrics import (
+    ghost_exchange_cells,
+    ghost_message_pairs,
+    interlevel_transfer_cells,
+    migration_cells,
+)
+
+__all__ = ["StepMetrics", "SimulationResult", "TraceSimulator"]
+
+
+@dataclass(frozen=True, slots=True)
+class StepMetrics:
+    """All per-regrid-step outputs of the simulator.
+
+    ``relative_*`` fields follow the paper's grid-relative metrics
+    (section 4.1): migration is normalized by ``|H_{t-1}|``, communication
+    by the workload of the coarse step.
+    """
+
+    step: int
+    time: float
+    ncells: int
+    workload: int
+    load_imbalance: float
+    comm_cells: int
+    relative_comm: float
+    interlevel_cells: int
+    migration_cells: int
+    relative_migration: float
+    partition_seconds: float
+    compute_seconds: float
+    comm_seconds: float
+    migration_seconds: float
+    total_seconds: float
+
+
+@dataclass(frozen=True)
+class SimulationResult:
+    """A full simulated run: one :class:`StepMetrics` per snapshot."""
+
+    trace_name: str
+    partitioner: dict
+    nprocs: int
+    steps: tuple[StepMetrics, ...]
+
+    def series(self, attr: str) -> np.ndarray:
+        """Column extraction, e.g. ``series("relative_migration")``."""
+        return np.array([getattr(s, attr) for s in self.steps], dtype=np.float64)
+
+    @property
+    def total_execution_seconds(self) -> float:
+        """Modeled wall time of the whole run."""
+        return float(sum(s.total_seconds for s in self.steps))
+
+    def summary(self) -> dict:
+        """Aggregate statistics for experiment tables."""
+        return {
+            "trace": self.trace_name,
+            "partitioner": self.partitioner,
+            "nprocs": self.nprocs,
+            "mean_imbalance": float(self.series("load_imbalance").mean()),
+            "mean_relative_comm": float(self.series("relative_comm").mean()),
+            "mean_relative_migration": float(
+                self.series("relative_migration")[1:].mean()
+            )
+            if len(self.steps) > 1
+            else 0.0,
+            "total_seconds": self.total_execution_seconds,
+        }
+
+
+class TraceSimulator:
+    """Replays traces under a partitioner and a machine model.
+
+    Parameters
+    ----------
+    machine :
+        Cost model of the parallel computer.
+    ghost_width :
+        Ghost-layer width of the numerical scheme (paper kernels: 1).
+    steps_per_snapshot :
+        Coarse time-steps executed between consecutive snapshots (the
+        trace's regrid interval); scales the compute/communication phases
+        of the execution-time model.
+    """
+
+    def __init__(
+        self,
+        machine: MachineModel | None = None,
+        ghost_width: int = 1,
+        steps_per_snapshot: int = 4,
+    ) -> None:
+        if ghost_width < 0:
+            raise ValueError("ghost_width must be >= 0")
+        if steps_per_snapshot < 1:
+            raise ValueError("steps_per_snapshot must be >= 1")
+        self.machine = machine or MachineModel()
+        self.ghost_width = ghost_width
+        self.steps_per_snapshot = steps_per_snapshot
+
+    # ------------------------------------------------------------------
+    def measure_step(
+        self,
+        hierarchy: GridHierarchy,
+        result: PartitionResult,
+        previous: PartitionResult | None,
+        prev_hierarchy: GridHierarchy | None,
+        step: int = 0,
+        time: float = 0.0,
+    ) -> StepMetrics:
+        """Metrics of one snapshot under one distribution."""
+        loads = proc_loads(result, hierarchy)
+        avg = loads.mean()
+        imbalance = float(loads.max() / avg) if avg > 0 else 1.0
+        # Communication: ghost exchange at every local step of every level
+        # plus parent-child transfers at every fine step.
+        comm_point_steps = 0
+        messages = 0.0
+        for level in hierarchy:
+            w = level.time_refinement_weight()
+            raster = result.owners[level.index]
+            comm_point_steps += ghost_exchange_cells(raster, self.ghost_width) * w
+            messages += ghost_message_pairs(raster) * w
+        interlevel = 0
+        for level in hierarchy.levels[1:]:
+            coarse = result.owners[level.index - 1]
+            fine = result.owners[level.index]
+            w = level.time_refinement_weight()
+            interlevel += (
+                interlevel_transfer_cells(coarse, fine, level.ratio) * w
+            )
+        migrated = 0
+        if previous is not None:
+            migrated = migration_cells(previous, result)
+        rel_comm = relative_communication(comm_point_steps + interlevel, hierarchy)
+        rel_mig = (
+            relative_migration(migrated, prev_hierarchy)
+            if prev_hierarchy is not None
+            else 0.0
+        )
+        # --- execution-time model for the inter-snapshot interval --------
+        n = self.steps_per_snapshot
+        compute = self.machine.compute_seconds(float(loads.max())) * n
+        comm = (
+            self.machine.transfer_seconds(
+                float(comm_point_steps + interlevel), messages
+            )
+            * n
+        )
+        sync = self.machine.sync_seconds * n * hierarchy.nlevels
+        mig_t = self.machine.transfer_seconds(float(migrated), result.nprocs)
+        total = compute + comm + sync + mig_t + result.partition_seconds
+        return StepMetrics(
+            step=step,
+            time=time,
+            ncells=hierarchy.ncells,
+            workload=hierarchy.workload,
+            load_imbalance=imbalance,
+            comm_cells=int(comm_point_steps),
+            relative_comm=rel_comm,
+            interlevel_cells=int(interlevel),
+            migration_cells=int(migrated),
+            relative_migration=rel_mig,
+            partition_seconds=result.partition_seconds,
+            compute_seconds=compute,
+            comm_seconds=comm + sync,
+            migration_seconds=mig_t,
+            total_seconds=total,
+        )
+
+    def run(
+        self,
+        trace: Trace,
+        partitioner: Partitioner,
+        nprocs: int,
+    ) -> SimulationResult:
+        """Replay a full trace under one static partitioner."""
+        if nprocs < 1:
+            raise ValueError("nprocs must be >= 1")
+        metrics: list[StepMetrics] = []
+        previous: PartitionResult | None = None
+        prev_hierarchy: GridHierarchy | None = None
+        for snap in trace:
+            result = partitioner.partition(snap.hierarchy, nprocs, previous)
+            metrics.append(
+                self.measure_step(
+                    snap.hierarchy,
+                    result,
+                    previous,
+                    prev_hierarchy,
+                    step=snap.step,
+                    time=snap.time,
+                )
+            )
+            previous = result
+            prev_hierarchy = snap.hierarchy
+        return SimulationResult(
+            trace_name=trace.name,
+            partitioner=partitioner.describe(),
+            nprocs=nprocs,
+            steps=tuple(metrics),
+        )
+
+    def run_scheduled(
+        self,
+        trace: Trace,
+        schedule,
+        nprocs: int,
+    ) -> SimulationResult:
+        """Replay a trace under a per-step partitioner *schedule*.
+
+        ``schedule`` is a callable ``(index, snapshot, previous_result) ->
+        Partitioner``; this is the entry point the meta-partitioner uses to
+        realize a fully dynamic PAC.
+        """
+        if nprocs < 1:
+            raise ValueError("nprocs must be >= 1")
+        metrics: list[StepMetrics] = []
+        previous: PartitionResult | None = None
+        prev_hierarchy: GridHierarchy | None = None
+        last_desc: dict = {}
+        for i, snap in enumerate(trace):
+            partitioner = schedule(i, snap, previous)
+            last_desc = partitioner.describe()
+            result = partitioner.partition(snap.hierarchy, nprocs, previous)
+            metrics.append(
+                self.measure_step(
+                    snap.hierarchy,
+                    result,
+                    previous,
+                    prev_hierarchy,
+                    step=snap.step,
+                    time=snap.time,
+                )
+            )
+            previous = result
+            prev_hierarchy = snap.hierarchy
+        return SimulationResult(
+            trace_name=trace.name,
+            partitioner={"name": "scheduled", "last": last_desc},
+            nprocs=nprocs,
+            steps=tuple(metrics),
+        )

@@ -1,0 +1,5 @@
+"""Trace substrate: regrid-step hierarchy snapshots, serialization, stats."""
+
+from .trace import Trace, TraceStats, TraceStep
+
+__all__ = ["Trace", "TraceStats", "TraceStep"]

@@ -1,0 +1,76 @@
+"""Shared fixtures: small deterministic hierarchies, traces and partitions."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.apps import TraceGenConfig, generate_trace, make_application
+from repro.geometry import Box
+from repro.hierarchy import GridHierarchy, PatchLevel
+from repro.trace import Trace
+
+
+SMALL_CONFIG = TraceGenConfig(
+    base_shape=(16, 16), max_levels=3, nsteps=12, regrid_interval=4
+)
+
+
+@pytest.fixture(scope="session")
+def small_config() -> TraceGenConfig:
+    """Cheap trace-generation setup for unit tests."""
+    return SMALL_CONFIG
+
+
+@pytest.fixture(scope="session")
+def small_traces(small_config) -> dict[str, Trace]:
+    """One small trace per application kernel (generated once per session)."""
+    return {
+        name: generate_trace(make_application(name, shape=(64, 64)), small_config)
+        for name in ("tp2d", "bl2d", "sc2d", "rm2d")
+    }
+
+
+@pytest.fixture()
+def simple_hierarchy() -> GridHierarchy:
+    """A 3-level hand-built hierarchy with known cell counts.
+
+    Level 0: 16x16 = 256 cells.
+    Level 1: one 16x8 patch (128 cells) in the 32x32 index space.
+    Level 2: one 8x8 patch (64 cells) in the 64x64 index space.
+    """
+    domain = Box((0, 0), (16, 16))
+    return GridHierarchy(
+        domain,
+        [
+            PatchLevel(0, [domain], ratio=1),
+            PatchLevel(1, [Box((8, 8), (24, 16))], ratio=2),
+            PatchLevel(2, [Box((20, 18), (28, 26))], ratio=2),
+        ],
+    )
+
+
+@pytest.fixture()
+def flat_hierarchy() -> GridHierarchy:
+    """A base-grid-only hierarchy."""
+    return GridHierarchy.base_only(Box((0, 0), (16, 16)))
+
+
+@pytest.fixture()
+def shifted_hierarchy(simple_hierarchy) -> GridHierarchy:
+    """``simple_hierarchy`` with every refined patch shifted by 2 cells."""
+    domain = simple_hierarchy.domain
+    return GridHierarchy(
+        domain,
+        [
+            PatchLevel(0, [domain], ratio=1),
+            PatchLevel(1, [Box((10, 8), (26, 16))], ratio=2),
+            PatchLevel(2, [Box((24, 18), (32, 26))], ratio=2),
+        ],
+    )
+
+
+@pytest.fixture(scope="session")
+def rng() -> np.random.Generator:
+    """Session RNG for randomized (but seeded) inputs."""
+    return np.random.default_rng(20260612)

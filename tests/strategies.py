@@ -1,0 +1,42 @@
+"""Shared hypothesis strategies for the test suite."""
+
+from __future__ import annotations
+
+from hypothesis import strategies as st
+
+from repro.geometry import Box, BoxList
+
+
+def boxes_2d(max_coord: int = 32, allow_empty: bool = False):
+    """Strategy for 2-d boxes within ``[0, max_coord)^2``."""
+
+    def make(x0, x1, y0, y1):
+        lo = (min(x0, x1), min(y0, y1))
+        hi = (max(x0, x1), max(y0, y1))
+        return Box(lo, hi)
+
+    coord = st.integers(min_value=0, max_value=max_coord)
+    strat = st.builds(make, coord, coord, coord, coord)
+    if not allow_empty:
+        strat = strat.filter(lambda b: not b.empty)
+    return strat
+
+
+def disjoint_boxlists(max_boxes: int = 6, max_coord: int = 24):
+    """Strategy for internally-disjoint box sets (subtract as we build)."""
+
+    @st.composite
+    def build(draw):
+        raw = draw(st.lists(boxes_2d(max_coord=max_coord), max_size=max_boxes))
+        out: list[Box] = []
+        for b in raw:
+            frags = [b]
+            for prior in out:
+                nxt = []
+                for f in frags:
+                    nxt.extend(f.subtract(prior))
+                frags = nxt
+            out.extend(frags)
+        return BoxList(out)
+
+    return build()

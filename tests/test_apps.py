@@ -1,0 +1,235 @@
+"""Tests for the four application kernels and the trace generator."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.apps import (
+    APPLICATIONS,
+    BuckleyLeverett2D,
+    RichtmyerMeshkov2D,
+    ScalarWave2D,
+    TraceGenConfig,
+    Transport2D,
+    build_hierarchy,
+    fractional_flow,
+    generate_trace,
+    make_application,
+)
+from repro.clustering import gradient_indicator
+
+
+ALL_APPS = sorted(APPLICATIONS)
+
+
+class TestRegistry:
+    def test_four_kernels(self):
+        assert set(APPLICATIONS) == {"tp2d", "bl2d", "sc2d", "rm2d"}
+
+    def test_make_application(self):
+        app = make_application("tp2d", shape=(32, 32))
+        assert isinstance(app, Transport2D)
+
+    def test_unknown_name(self):
+        with pytest.raises(ValueError, match="unknown application"):
+            make_application("nope")
+
+
+class TestTraceGenConfig:
+    def test_level_shape(self):
+        cfg = TraceGenConfig(base_shape=(16, 16), refine_ratio=2)
+        assert cfg.level_shape(0) == (16, 16)
+        assert cfg.level_shape(3) == (128, 128)
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"max_levels": 0},
+            {"refine_ratio": 1},
+            {"nsteps": 0},
+            {"regrid_interval": 0},
+            {"flag_threshold": 0.0},
+            {"threshold_growth": 0.5},
+        ],
+    )
+    def test_validation(self, kwargs):
+        with pytest.raises(ValueError):
+            TraceGenConfig(**kwargs)
+
+    def test_small_variant(self):
+        small = TraceGenConfig().small()
+        assert small.max_levels <= 3
+
+
+@pytest.mark.parametrize("name", ALL_APPS)
+class TestKernelBasics:
+    def test_advance_progresses_time(self, name):
+        app = make_application(name, shape=(32, 32))
+        t0 = app.time
+        app.advance()
+        assert app.time > t0
+
+    def test_field_shape_and_finite(self, name):
+        app = make_application(name, shape=(32, 32))
+        for _ in range(3):
+            app.advance()
+        field = app.indicator_field()
+        assert field.shape == (32, 32)
+        assert np.isfinite(field).all()
+
+    def test_deterministic(self, name):
+        a = make_application(name, shape=(32, 32))
+        b = make_application(name, shape=(32, 32))
+        for _ in range(2):
+            a.advance()
+            b.advance()
+        np.testing.assert_array_equal(a.indicator_field(), b.indicator_field())
+
+    def test_field_changes(self, name):
+        app = make_application(name, shape=(32, 32))
+        before = app.indicator_field().copy()
+        for _ in range(4):
+            app.advance()
+        assert not np.array_equal(before, app.indicator_field())
+
+    def test_too_small_grid_rejected(self, name):
+        with pytest.raises(ValueError):
+            make_application(name, shape=(4, 4))
+
+
+class TestPhysics:
+    def test_bl2d_saturation_bounds(self):
+        app = BuckleyLeverett2D(shape=(32, 32))
+        for _ in range(10):
+            app.advance()
+        s = app.indicator_field()
+        assert s.min() >= 0.0 and s.max() <= 1.0
+
+    def test_bl2d_front_advances(self):
+        app = BuckleyLeverett2D(shape=(64, 64))
+        initial = app.indicator_field().sum()
+        for _ in range(10):
+            app.advance()
+        assert app.indicator_field().sum() > initial  # injection adds water
+
+    def test_fractional_flow_endpoints(self):
+        s = np.array([0.0, 1.0])
+        f = fractional_flow(s, 2.0)
+        np.testing.assert_allclose(f, [0.0, 1.0])
+
+    def test_fractional_flow_monotone(self):
+        s = np.linspace(0, 1, 50)
+        f = fractional_flow(s, 2.0)
+        assert (np.diff(f) >= -1e-12).all()
+
+    def test_fractional_flow_clips(self):
+        f = fractional_flow(np.array([-0.5, 1.5]), 2.0)
+        np.testing.assert_allclose(f, [0.0, 1.0])
+
+    def test_sc2d_source_pulses(self):
+        app = ScalarWave2D(shape=(32, 32), pulse_period=0.4, pulse_width=0.03)
+        amp_peak = app.source_amplitude(3.0 * 0.03)
+        amp_quiet = app.source_amplitude(0.25)
+        assert amp_peak > 0.9
+        assert amp_quiet < 0.1
+
+    def test_sc2d_wave_expands(self):
+        app = ScalarWave2D(shape=(64, 64))
+        for _ in range(6):
+            app.advance()
+        u = np.abs(app.indicator_field())
+        centre = u[28:36, 28:36].max()
+        assert centre > 0  # wave emitted
+
+    def test_rm2d_density_positive(self):
+        app = RichtmyerMeshkov2D(shape=(32, 32))
+        for _ in range(5):
+            app.advance()
+        assert app.indicator_field().min() > 0
+
+    def test_rm2d_mass_conserved(self):
+        """Reflective walls: total mass is conserved by the FV scheme."""
+        app = RichtmyerMeshkov2D(shape=(32, 32))
+        m0 = app.indicator_field().sum()
+        for _ in range(5):
+            app.advance()
+        assert app.indicator_field().sum() == pytest.approx(m0, rel=1e-10)
+
+    def test_rm2d_atwood_validation(self):
+        with pytest.raises(ValueError):
+            RichtmyerMeshkov2D(atwood=1.5)
+
+    def test_tp2d_gust_range(self):
+        app = Transport2D(shape=(32, 32))
+        gusts = [app._gust(t) for t in np.linspace(0, 5, 200)]
+        assert min(gusts) >= 0.2 and max(gusts) <= 1.8
+
+    def test_tp2d_mass_roughly_conserved(self):
+        """Semi-Lagrangian advection approximately conserves the pulse mass."""
+        app = Transport2D(shape=(64, 64))
+        m0 = app.indicator_field().sum()
+        for _ in range(10):
+            app.advance()
+        assert app.indicator_field().sum() == pytest.approx(m0, rel=0.1)
+
+
+class TestBuildHierarchy:
+    def test_flat_indicator_gives_base_only(self):
+        cfg = TraceGenConfig(base_shape=(16, 16), max_levels=3)
+        h = build_hierarchy(np.zeros((64, 64)), cfg)
+        assert h.nlevels == 1
+
+    def test_peak_is_refined_to_max_depth(self):
+        cfg = TraceGenConfig(base_shape=(16, 16), max_levels=3)
+        ind = np.zeros((64, 64))
+        ind[30:34, 30:34] = 1.0
+        h = build_hierarchy(ind, cfg)
+        assert h.nlevels == 3
+        h.validate()
+
+    def test_nesting_always_holds(self):
+        rng = np.random.default_rng(5)
+        cfg = TraceGenConfig(base_shape=(16, 16), max_levels=3)
+        for _ in range(5):
+            field = rng.random((64, 64))
+            for _ in range(3):  # smooth
+                field = 0.25 * (
+                    np.roll(field, 1, 0)
+                    + np.roll(field, -1, 0)
+                    + np.roll(field, 1, 1)
+                    + np.roll(field, -1, 1)
+                )
+            ind = gradient_indicator(field)
+            h = build_hierarchy(ind, cfg)
+            h.validate()
+
+    def test_rejects_1d(self):
+        with pytest.raises(ValueError):
+            build_hierarchy(np.zeros(16), TraceGenConfig())
+
+
+class TestGenerateTrace:
+    def test_snapshot_schedule(self, small_traces):
+        tr = small_traces["tp2d"]
+        assert [s.step for s in tr] == [0, 4, 8, 12]
+
+    @pytest.mark.parametrize("name", ALL_APPS)
+    def test_all_hierarchies_valid(self, small_traces, name):
+        for snap in small_traces[name]:
+            snap.hierarchy.validate()
+
+    @pytest.mark.parametrize("name", ALL_APPS)
+    def test_metadata_recorded(self, small_traces, name):
+        md = small_traces[name].metadata
+        assert md["max_levels"] == 3
+        assert md["regrid_interval"] == 4
+
+    def test_trace_name_matches_app(self, small_traces):
+        for name, tr in small_traces.items():
+            assert tr.name == name
+
+    def test_deterministic_regeneration(self, small_config):
+        a = generate_trace(make_application("bl2d", shape=(64, 64)), small_config)
+        b = generate_trace(make_application("bl2d", shape=(64, 64)), small_config)
+        assert [s.hierarchy for s in a] == [s.hierarchy for s in b]

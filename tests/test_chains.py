@@ -1,0 +1,129 @@
+"""Tests for the chains-on-chains 1-D partitioning solvers."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.partition import exact_chains, greedy_chains, segments_to_ranks
+
+
+weights_arrays = hnp.arrays(
+    dtype=np.float64,
+    shape=st.integers(0, 40),
+    elements=st.floats(0, 100, allow_nan=False),
+)
+
+
+def max_segment(weights: np.ndarray, bounds: np.ndarray) -> float:
+    return max(
+        (weights[bounds[p] : bounds[p + 1]].sum() for p in range(bounds.size - 1)),
+        default=0.0,
+    )
+
+
+class TestGreedyChains:
+    def test_uniform_split(self):
+        bounds = greedy_chains(np.ones(8), 4)
+        np.testing.assert_array_equal(bounds, [0, 2, 4, 6, 8])
+
+    def test_single_part(self):
+        bounds = greedy_chains(np.ones(5), 1)
+        np.testing.assert_array_equal(bounds, [0, 5])
+
+    def test_more_parts_than_items(self):
+        bounds = greedy_chains(np.ones(2), 4)
+        assert bounds[0] == 0 and bounds[-1] == 2
+        assert (np.diff(bounds) >= 0).all()
+
+    def test_empty_weights(self):
+        bounds = greedy_chains(np.array([]), 3)
+        assert bounds.tolist() == [0, 0, 0, 0]
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            greedy_chains(np.array([-1.0]), 2)
+
+    def test_invalid_nparts(self):
+        with pytest.raises(ValueError):
+            greedy_chains(np.ones(4), 0)
+
+    def test_2d_rejected(self):
+        with pytest.raises(ValueError):
+            greedy_chains(np.ones((2, 2)), 2)
+
+    @given(weights_arrays, st.integers(1, 8))
+    @settings(max_examples=150)
+    def test_valid_bounds(self, w, p):
+        bounds = greedy_chains(w, p)
+        assert bounds.size == p + 1
+        assert bounds[0] == 0 and bounds[-1] == w.size
+        assert (np.diff(bounds) >= 0).all()
+
+
+class TestExactChains:
+    def test_optimal_on_known_case(self):
+        # [3,1,1,3] into 2: best max is 4 (3+1 | 1+3).
+        w = np.array([3.0, 1.0, 1.0, 3.0])
+        bounds = exact_chains(w, 2)
+        assert max_segment(w, bounds) == 4.0
+
+    def test_greedy_can_be_beaten(self):
+        # Greedy cuts at the prefix >= total/2 = 5 -> [9] [1 9] worse than
+        # the optimal [9 1][9].
+        w = np.array([9.0, 1.0, 9.0])
+        g = max_segment(w, greedy_chains(w, 2))
+        e = max_segment(w, exact_chains(w, 2))
+        assert e <= g
+        assert e == 10.0
+
+    @given(weights_arrays, st.integers(1, 6))
+    @settings(max_examples=100, deadline=None)
+    def test_exact_never_worse_than_greedy(self, w, p):
+        g = max_segment(w, greedy_chains(w, p))
+        e = max_segment(w, exact_chains(w, p))
+        assert e <= g + 1e-9
+
+    @given(weights_arrays, st.integers(1, 6))
+    @settings(max_examples=100, deadline=None)
+    def test_exact_lower_bound(self, w, p):
+        """Bottleneck >= max(total/p, max single weight)."""
+        bounds = exact_chains(w, p)
+        lower = max(w.sum() / p if w.size else 0.0, w.max() if w.size else 0.0)
+        assert max_segment(w, bounds) >= lower - 1e-9
+
+    @given(weights_arrays, st.integers(1, 6))
+    @settings(max_examples=100, deadline=None)
+    def test_exact_matches_bruteforce_small(self, w, p):
+        if w.size > 10:
+            w = w[:10]
+        bounds = exact_chains(w, p)
+        achieved = max_segment(w, bounds)
+        # Brute-force optimum by dynamic programming.
+        n = w.size
+        prefix = np.concatenate(([0.0], np.cumsum(w)))
+        INF = float("inf")
+        dp = np.full((p + 1, n + 1), INF)
+        dp[0, 0] = 0.0
+        for parts in range(1, p + 1):
+            for end in range(n + 1):
+                for start in range(end + 1):
+                    seg = prefix[end] - prefix[start]
+                    cand = max(dp[parts - 1, start], seg)
+                    if cand < dp[parts, end]:
+                        dp[parts, end] = cand
+        optimum = dp[p, n]
+        assert achieved <= optimum + 1e-6
+
+
+class TestSegmentsToRanks:
+    def test_expansion(self):
+        ranks = segments_to_ranks(np.array([0, 2, 2, 5]), 5)
+        assert ranks.tolist() == [0, 0, 2, 2, 2]
+
+    def test_empty(self):
+        ranks = segments_to_ranks(np.array([0, 0]), 0)
+        assert ranks.size == 0

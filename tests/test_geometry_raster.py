@@ -1,0 +1,120 @@
+"""Tests for rasterization (masks, owner maps, mask -> boxes recovery)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+
+from repro.geometry import (
+    NO_OWNER,
+    Box,
+    boxes_from_mask,
+    paint_box,
+    rasterize_mask,
+    rasterize_owners,
+)
+
+from tests.strategies import disjoint_boxlists
+
+
+class TestPaintBox:
+    def test_paint_inside(self):
+        arr = np.zeros((4, 4), dtype=np.int32)
+        paint_box(arr, Box((1, 1), (3, 3)), 7)
+        assert arr.sum() == 7 * 4
+
+    def test_paint_clips_outside(self):
+        arr = np.zeros((4, 4), dtype=np.int32)
+        paint_box(arr, Box((2, 2), (8, 8)), 1)
+        assert arr.sum() == 4  # only the 2x2 corner inside
+
+    def test_paint_fully_outside_noop(self):
+        arr = np.zeros((4, 4), dtype=np.int32)
+        paint_box(arr, Box((10, 10), (12, 12)), 1)
+        assert arr.sum() == 0
+
+    def test_dim_mismatch(self):
+        with pytest.raises(ValueError):
+            paint_box(np.zeros((4, 4)), Box((0, 0, 0), (1, 1, 1)), 1)
+
+
+class TestRasterizeMask:
+    def test_counts_match(self):
+        domain = Box((0, 0), (8, 8))
+        mask = rasterize_mask([Box((0, 0), (2, 2)), Box((4, 4), (6, 6))], domain)
+        assert mask.sum() == 8
+        assert mask.dtype == bool
+
+    def test_anchoring_enforced(self):
+        with pytest.raises(ValueError, match="origin"):
+            rasterize_mask([], Box((1, 0), (4, 4)))
+
+    def test_empty_domain_rejected(self):
+        with pytest.raises(ValueError):
+            rasterize_mask([], Box((0, 0), (0, 4)))
+
+
+class TestRasterizeOwners:
+    def test_no_owner_default(self):
+        domain = Box((0, 0), (4, 4))
+        owners = rasterize_owners([], domain)
+        assert (owners == NO_OWNER).all()
+        assert owners.dtype == np.int32
+
+    def test_assignment(self):
+        domain = Box((0, 0), (4, 4))
+        owners = rasterize_owners(
+            [(Box((0, 0), (2, 4)), 0), (Box((2, 0), (4, 4)), 1)], domain
+        )
+        assert (owners[:2] == 0).all()
+        assert (owners[2:] == 1).all()
+
+    def test_negative_rank_rejected(self):
+        with pytest.raises(ValueError, match=">= 0"):
+            rasterize_owners([(Box((0, 0), (1, 1)), -2)], Box((0, 0), (4, 4)))
+
+
+class TestBoxesFromMask:
+    def test_single_block(self):
+        mask = np.zeros((8, 8), dtype=bool)
+        mask[2:5, 3:6] = True
+        boxes = boxes_from_mask(mask)
+        assert len(boxes) == 1
+        assert boxes[0] == Box((2, 3), (5, 6))
+
+    def test_two_components(self):
+        mask = np.zeros((8, 8), dtype=bool)
+        mask[0:2, 0:2] = True
+        mask[5:8, 5:8] = True
+        boxes = boxes_from_mask(mask)
+        assert sum(b.ncells for b in boxes) == 13
+
+    def test_l_shape_exact(self):
+        mask = np.zeros((6, 6), dtype=bool)
+        mask[0:4, 0:2] = True
+        mask[0:2, 2:5] = True
+        boxes = boxes_from_mask(mask)
+        recon = rasterize_mask(boxes, Box((0, 0), (6, 6)))
+        assert (recon == mask).all()
+
+    def test_empty_mask(self):
+        assert boxes_from_mask(np.zeros((4, 4), dtype=bool)) == []
+
+    def test_rejects_3d(self):
+        with pytest.raises(ValueError):
+            boxes_from_mask(np.zeros((2, 2, 2), dtype=bool))
+
+    @given(disjoint_boxlists())
+    @settings(max_examples=60, deadline=None)
+    def test_roundtrip_property(self, lst):
+        """mask -> boxes -> mask is the identity."""
+        domain = Box((0, 0), (24, 24))
+        mask = rasterize_mask(lst, domain)
+        boxes = boxes_from_mask(mask)
+        recon = rasterize_mask(boxes, domain)
+        assert (recon == mask).all()
+        # Result must be disjoint.
+        for i, a in enumerate(boxes):
+            for b in boxes[i + 1 :]:
+                assert not a.intersects(b)

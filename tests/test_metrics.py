@@ -1,0 +1,70 @@
+"""Tests for the grid-relative metrics (paper section 4.1)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.metrics import (
+    load_imbalance_percent,
+    relative_communication,
+    relative_migration,
+)
+
+
+class TestLoadImbalancePercent:
+    def test_perfect_balance(self):
+        assert load_imbalance_percent(np.array([5.0, 5.0, 5.0])) == 0.0
+
+    def test_known_value(self):
+        # max 8, avg 6 -> 100*(8/6 - 1) = 33.33 %
+        v = load_imbalance_percent(np.array([8.0, 4.0, 6.0]))
+        assert v == pytest.approx(100 * (8 / 6 - 1))
+
+    def test_all_zero(self):
+        assert load_imbalance_percent(np.zeros(4)) == 0.0
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            load_imbalance_percent(np.array([]))
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            load_imbalance_percent(np.array([1.0, -1.0]))
+
+
+class TestRelativeMigration:
+    def test_full_move_is_one(self, simple_hierarchy):
+        assert relative_migration(
+            simple_hierarchy.ncells, simple_hierarchy
+        ) == pytest.approx(1.0)
+
+    def test_zero(self, simple_hierarchy):
+        assert relative_migration(0, simple_hierarchy) == 0.0
+
+    def test_negative_rejected(self, simple_hierarchy):
+        with pytest.raises(ValueError):
+            relative_migration(-1, simple_hierarchy)
+
+
+class TestRelativeCommunication:
+    def test_full_involvement_is_one(self, simple_hierarchy):
+        assert relative_communication(
+            simple_hierarchy.workload, simple_hierarchy
+        ) == pytest.approx(1.0)
+
+    def test_zero(self, simple_hierarchy):
+        assert relative_communication(0, simple_hierarchy) == 0.0
+
+    def test_negative_rejected(self, simple_hierarchy):
+        with pytest.raises(ValueError):
+            relative_communication(-5, simple_hierarchy)
+
+    def test_workload_normalization_differs_from_cells(self, simple_hierarchy):
+        """Communication normalizes by workload (cells x local steps), not
+        by cell count — the distinction the paper introduces."""
+        assert simple_hierarchy.workload != simple_hierarchy.ncells
+        v = relative_communication(simple_hierarchy.ncells, simple_hierarchy)
+        assert v == pytest.approx(
+            simple_hierarchy.ncells / simple_hierarchy.workload
+        )

@@ -1,0 +1,213 @@
+"""Tests for the paper's penalties: beta_m (section 4.4), beta_C, beta_L."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+
+from repro.geometry import Box
+from repro.hierarchy import GridHierarchy, PatchLevel
+from repro.model import (
+    communication_penalty,
+    dimension1,
+    load_imbalance_penalty,
+    migration_penalty,
+)
+
+from tests.strategies import disjoint_boxlists
+
+
+def hierarchy_from_level1(boxes, domain_size=16) -> GridHierarchy:
+    domain = Box((0, 0), (domain_size, domain_size))
+    level1 = [
+        b.intersect(domain.refine(2))
+        for b in boxes
+        if b.intersect(domain.refine(2)) is not None
+    ]
+    return GridHierarchy(
+        domain,
+        [PatchLevel(0, [domain], ratio=1), PatchLevel(1, level1, ratio=2)],
+    )
+
+
+class TestMigrationPenalty:
+    def test_identical_hierarchies_zero(self, simple_hierarchy):
+        assert migration_penalty(simple_hierarchy, simple_hierarchy) == 0.0
+
+    def test_disjoint_refinement_high(self):
+        a = hierarchy_from_level1([Box((0, 0), (8, 8))])
+        b = hierarchy_from_level1([Box((16, 16), (24, 24))])
+        # Level 0 fully overlaps (256 cells); level 1 not at all.
+        expected = 1.0 - 256 / (256 + 64)
+        assert migration_penalty(a, b) == pytest.approx(expected)
+
+    def test_hand_computed_partial_overlap(self, simple_hierarchy, shifted_hierarchy):
+        # Level 0: full 256-cell overlap.  Level 1: 16x8 at (8,8) vs
+        # (10,8): overlap 14x8 = 112.  Level 2: 8x8 at (20,18) vs (24,18):
+        # overlap 4x8 = 32.
+        overlap = 256 + 112 + 32
+        expected = 1.0 - overlap / shifted_hierarchy.ncells
+        assert migration_penalty(
+            simple_hierarchy, shifted_hierarchy
+        ) == pytest.approx(expected)
+
+    def test_denominator_variants(self, simple_hierarchy):
+        grown = hierarchy_from_level1([Box((0, 0), (32, 16))])
+        small = hierarchy_from_level1([Box((0, 0), (8, 8))])
+        cur = migration_penalty(small, grown, denominator="current")
+        prev = migration_penalty(small, grown, denominator="previous")
+        mx = migration_penalty(small, grown, denominator="max")
+        for v in (cur, prev, mx):
+            assert 0.0 <= v <= 1.0
+        assert mx == pytest.approx(cur)  # grown is the max here
+
+    def test_invalid_denominator(self, simple_hierarchy):
+        with pytest.raises(ValueError, match="denominator"):
+            migration_penalty(simple_hierarchy, simple_hierarchy, denominator="x")
+
+    def test_growth_yields_larger_value_with_current(self):
+        """Section 4.4: for |H_{t-1}| < |H_t| the |H_t| denominator is
+        chosen "to yield a larger value when it is subtracted from 1" —
+        a growing grid should predict *more* migration."""
+        small = hierarchy_from_level1([Box((0, 0), (8, 8))])
+        big = hierarchy_from_level1([Box((8, 8), (32, 32))])  # disjoint L1
+        grow = migration_penalty(small, big, denominator="current")
+        grow_prev = migration_penalty(small, big, denominator="previous")
+        assert grow >= grow_prev - 1e-12
+
+    @given(disjoint_boxlists(max_coord=31), disjoint_boxlists(max_coord=31))
+    @settings(max_examples=60, deadline=None)
+    def test_range_property(self, la, lb):
+        a = hierarchy_from_level1(list(la))
+        b = hierarchy_from_level1(list(lb))
+        for denom in ("current", "previous", "max"):
+            v = migration_penalty(a, b, denominator=denom)
+            assert 0.0 <= v <= 1.0
+
+    @given(disjoint_boxlists(max_coord=31))
+    @settings(max_examples=40, deadline=None)
+    def test_self_penalty_zero(self, lst):
+        h = hierarchy_from_level1(list(lst))
+        assert migration_penalty(h, h) == 0.0
+
+
+class TestCommunicationPenalty:
+    def test_range(self, simple_hierarchy):
+        v = communication_penalty(simple_hierarchy, nprocs=8)
+        assert 0.0 <= v <= 1.0
+
+    def test_flat_hierarchy_small(self, flat_hierarchy):
+        v = communication_penalty(flat_hierarchy, nprocs=4, fragmentation=0.0)
+        # Only the base-grid hull: 4*16 faces / 256 cells.
+        assert v == pytest.approx(64 / 256)
+
+    def test_more_procs_more_penalty(self, simple_hierarchy):
+        lo = communication_penalty(simple_hierarchy, nprocs=2)
+        hi = communication_penalty(simple_hierarchy, nprocs=64)
+        assert hi >= lo
+
+    def test_fragmented_worse_than_compact(self):
+        compact = hierarchy_from_level1([Box((0, 0), (16, 16))])
+        pieces = [
+            Box((2 * i, 2 * j), (2 * i + 2, 2 * j + 2))
+            for i in range(0, 16, 4)
+            for j in range(0, 16, 4)
+        ]
+        fragmented = hierarchy_from_level1(pieces)
+        assert communication_penalty(
+            fragmented, nprocs=4, fragmentation=0.0
+        ) > communication_penalty(compact, nprocs=4, fragmentation=0.0)
+
+    def test_surface_conventions(self, simple_hierarchy):
+        patch = communication_penalty(simple_hierarchy, surface="patch")
+        region = communication_penalty(simple_hierarchy, surface="region")
+        assert patch >= region - 1e-12  # hull counts at least the union surface
+
+    def test_invalid_surface(self, simple_hierarchy):
+        with pytest.raises(ValueError):
+            communication_penalty(simple_hierarchy, surface="volume")
+
+    def test_invalid_params(self, simple_hierarchy):
+        with pytest.raises(ValueError):
+            communication_penalty(simple_hierarchy, ghost_width=-1)
+        with pytest.raises(ValueError):
+            communication_penalty(simple_hierarchy, nprocs=0)
+        with pytest.raises(ValueError):
+            communication_penalty(simple_hierarchy, fragmentation=-1.0)
+
+
+class TestLoadImbalancePenalty:
+    def test_uniform_refinement_zero(self):
+        h = hierarchy_from_level1([Box((0, 0), (32, 32))])
+        assert load_imbalance_penalty(h) == pytest.approx(0.0)
+
+    def test_flat_hierarchy_zero(self, flat_hierarchy):
+        assert load_imbalance_penalty(flat_hierarchy) == pytest.approx(0.0)
+
+    def test_needle_high(self):
+        domain = Box((0, 0), (16, 16))
+        h = GridHierarchy(
+            domain,
+            [
+                PatchLevel(0, [domain], ratio=1),
+                PatchLevel(1, [Box((0, 0), (2, 2))], ratio=2),
+                PatchLevel(2, [Box((0, 0), (4, 4))], ratio=2),
+                PatchLevel(3, [Box((0, 0), (8, 8))], ratio=2),
+            ],
+        )
+        assert load_imbalance_penalty(h) > 0.8
+
+    def test_deeper_stack_raises_penalty(self):
+        """Adding a deeper level on the same footprint concentrates the
+        column workload further, raising beta_L (section 3.1's 'many
+        levels of refinement' risk)."""
+        domain = Box((0, 0), (16, 16))
+        shallow = GridHierarchy(
+            domain,
+            [
+                PatchLevel(0, [domain], ratio=1),
+                PatchLevel(1, [Box((0, 0), (8, 8))], ratio=2),
+            ],
+        )
+        deep = GridHierarchy(
+            domain,
+            [
+                PatchLevel(0, [domain], ratio=1),
+                PatchLevel(1, [Box((0, 0), (8, 8))], ratio=2),
+                PatchLevel(2, [Box((0, 0), (8, 8))], ratio=2),
+            ],
+        )
+        assert load_imbalance_penalty(deep) > load_imbalance_penalty(shallow)
+
+    def test_broad_refinement_beats_narrow(self):
+        """At a fixed depth, refining a larger fraction of the domain
+        lowers the localization penalty."""
+        narrow = hierarchy_from_level1([Box((0, 0), (8, 8))])
+        broad = hierarchy_from_level1([Box((0, 0), (32, 16))])
+        assert load_imbalance_penalty(broad) < load_imbalance_penalty(narrow)
+
+    @given(disjoint_boxlists(max_coord=31))
+    @settings(max_examples=40, deadline=None)
+    def test_range_property(self, lst):
+        h = hierarchy_from_level1(list(lst))
+        assert 0.0 <= load_imbalance_penalty(h) <= 1.0
+
+
+class TestDimension1:
+    def test_scale_invariance(self):
+        """'beta_L = beta_C = 0.1 yields the same result as 0.4' (§4.3)."""
+        assert dimension1(0.1, 0.1) == dimension1(0.4, 0.4) == 0.5
+
+    def test_extremes(self):
+        assert dimension1(1.0, 0.0) == 1.0
+        assert dimension1(0.0, 1.0) == 0.0
+
+    def test_zero_zero_neutral(self):
+        assert dimension1(0.0, 0.0) == 0.5
+
+    def test_range_validation(self):
+        with pytest.raises(ValueError):
+            dimension1(1.5, 0.5)
+        with pytest.raises(ValueError):
+            dimension1(0.5, -0.1)

@@ -1,0 +1,169 @@
+"""Hand-computed cases for the raster metric kernels."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.geometry import NO_OWNER
+from repro.partition import PartitionResult
+from repro.simulator import (
+    ghost_exchange_cells,
+    ghost_message_pairs,
+    interlevel_transfer_cells,
+    migration_cells,
+    per_rank_comm_cells,
+)
+
+
+def owners(array) -> np.ndarray:
+    return np.asarray(array, dtype=np.int32)
+
+
+class TestGhostExchange:
+    def test_two_halves(self):
+        raster = owners([[0, 0, 1, 1]] * 4).T  # vertical split, 4 faces
+        assert ghost_exchange_cells(raster, ghost_width=1) == 8
+
+    def test_uniform_no_comm(self):
+        raster = owners(np.zeros((4, 4)))
+        assert ghost_exchange_cells(raster) == 0
+
+    def test_unrefined_cells_ignored(self):
+        raster = owners(np.full((4, 4), NO_OWNER))
+        raster[0, 0] = 0
+        raster[0, 1] = 1
+        assert ghost_exchange_cells(raster) == 2
+
+    def test_ghost_width_scales(self):
+        raster = owners([[0, 1], [0, 1]])
+        assert ghost_exchange_cells(raster, 2) == 2 * ghost_exchange_cells(raster, 1)
+
+    def test_negative_width_rejected(self):
+        with pytest.raises(ValueError):
+            ghost_exchange_cells(owners(np.zeros((2, 2))), -1)
+
+    def test_checkerboard_worst_case(self):
+        n = 4
+        raster = owners(np.indices((n, n)).sum(axis=0) % 2)
+        # Every interior face is a cut: 2*n*(n-1) faces, doubled.
+        assert ghost_exchange_cells(raster) == 2 * 2 * n * (n - 1)
+
+
+class TestMessagePairs:
+    def test_two_halves_one_pair(self):
+        raster = owners([[0, 0, 1, 1]] * 4).T
+        assert ghost_message_pairs(raster) == 2  # one pair, both directions
+
+    def test_three_stripes_two_pairs(self):
+        raster = owners([[0] * 4, [1] * 4, [2] * 4])
+        assert ghost_message_pairs(raster) == 4
+
+    def test_uniform_zero(self):
+        assert ghost_message_pairs(owners(np.ones((3, 3)))) == 0
+
+
+class TestPerRankComm:
+    def test_symmetric_split(self):
+        raster = owners([[0, 0, 1, 1]] * 4).T
+        counts = per_rank_comm_cells(raster, nprocs=2)
+        assert counts.tolist() == [4, 4]
+
+    def test_middle_rank_communicates_twice(self):
+        raster = owners([[0] * 4, [1] * 4, [2] * 4])
+        counts = per_rank_comm_cells(raster, nprocs=3)
+        assert counts[1] == counts[0] + counts[2]
+
+
+class TestInterlevel:
+    def test_aligned_zero(self):
+        coarse = owners([[0, 1], [0, 1]])
+        fine = np.repeat(np.repeat(coarse, 2, 0), 2, 1)
+        assert interlevel_transfer_cells(coarse, fine, 2) == 0
+
+    def test_fully_mismatched(self):
+        coarse = owners(np.zeros((2, 2)))
+        fine = owners(np.ones((4, 4)))
+        assert interlevel_transfer_cells(coarse, fine, 2) == 16
+
+    def test_unrefined_fine_ignored(self):
+        coarse = owners(np.zeros((2, 2)))
+        fine = owners(np.full((4, 4), NO_OWNER))
+        fine[0, 0] = 1
+        assert interlevel_transfer_cells(coarse, fine, 2) == 1
+
+    def test_shape_validation(self):
+        with pytest.raises(ValueError):
+            interlevel_transfer_cells(
+                owners(np.zeros((2, 2))), owners(np.zeros((5, 5))), 2
+            )
+
+    def test_ratio_validation(self):
+        with pytest.raises(ValueError):
+            interlevel_transfer_cells(
+                owners(np.zeros((2, 2))), owners(np.zeros((4, 4))), 0
+            )
+
+
+class TestMigration:
+    def make_result(self, rasters, nprocs=4):
+        return PartitionResult(
+            owners=tuple(owners(r) for r in rasters), nprocs=nprocs
+        )
+
+    def test_identical_zero(self):
+        base = np.zeros((4, 4))
+        a = self.make_result([base])
+        assert migration_cells(a, a) == 0
+
+    def test_owner_change_counted(self):
+        a = self.make_result([np.zeros((4, 4))])
+        b = self.make_result([np.ones((4, 4))])
+        assert migration_cells(a, b) == 16
+
+    def test_new_fine_cells_fetch_from_parent(self):
+        # Level 1 appears at t: all 4x4 fine cells interpolate from the
+        # level-0 owner (0); new owner 1 => all 16 migrate.
+        prev = self.make_result([np.zeros((2, 2))])
+        cur = self.make_result([np.zeros((2, 2)), np.ones((4, 4))])
+        assert migration_cells(prev, cur) == 16
+
+    def test_new_fine_cells_local_parent_no_migration(self):
+        prev = self.make_result([np.zeros((2, 2))])
+        cur = self.make_result([np.zeros((2, 2)), np.zeros((4, 4))])
+        assert migration_cells(prev, cur) == 0
+
+    def test_persisting_fine_cell_prefers_own_old_owner(self):
+        # Fine cell existed at t-1 with owner 1 and stays owner 1 at t,
+        # while the parent belongs to rank 0: no migration (data is local).
+        fine_prev = np.full((4, 4), NO_OWNER)
+        fine_prev[:2, :2] = 1
+        fine_cur = fine_prev.copy()
+        prev = self.make_result([np.zeros((2, 2)), fine_prev])
+        cur = self.make_result([np.zeros((2, 2)), fine_cur])
+        assert migration_cells(prev, cur) == 0
+
+    def test_deleted_levels_ignored(self):
+        prev = self.make_result([np.zeros((2, 2)), np.zeros((4, 4))])
+        cur = self.make_result([np.zeros((2, 2))])
+        assert migration_cells(prev, cur) == 0
+
+    def test_shape_mismatch_rejected(self):
+        a = self.make_result([np.zeros((2, 2))])
+        b = self.make_result([np.zeros((4, 4))])
+        with pytest.raises(ValueError):
+            migration_cells(a, b)
+
+    def test_grandparent_fallback(self):
+        # Level 2 is new and level 1 did not exist at t-1: data comes from
+        # level 0 owners.
+        prev = self.make_result([np.zeros((2, 2))])
+        lvl1 = np.full((4, 4), np.int32(1))
+        lvl2 = np.full((8, 8), np.int32(2))
+        cur = self.make_result([np.zeros((2, 2)), lvl1, lvl2])
+        # lvl1: 16 cells sourced from rank 0, owned by 1 -> 16.
+        # lvl2: 64 cells sourced via lvl1's *source* (rank 0) ... but lvl1
+        # exists at t? No: sources always come from the PREVIOUS
+        # distribution; lvl1 didn't exist at t-1, so lvl2's source is the
+        # upsampled level-0 owner (0), and its owner is 2 -> 64.
+        assert migration_cells(prev, cur) == 16 + 64

@@ -1,0 +1,118 @@
+"""Tests for the Morton and Hilbert space-filling curves."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sfc import (
+    hilbert_inverse,
+    hilbert_key,
+    morton_inverse,
+    morton_key,
+    sfc_order,
+)
+
+
+coords = st.integers(min_value=0, max_value=(1 << 10) - 1)
+
+
+class TestMorton:
+    def test_known_values(self):
+        # Interleaving: (x=1, y=0) -> 1; (x=0, y=1) -> 2; (x=1, y=1) -> 3.
+        assert int(morton_key(np.array(1), np.array(0))) == 1
+        assert int(morton_key(np.array(0), np.array(1))) == 2
+        assert int(morton_key(np.array(1), np.array(1))) == 3
+        assert int(morton_key(np.array(2), np.array(3))) == 14
+
+    @given(st.lists(st.tuples(coords, coords), min_size=1, max_size=50))
+    def test_bijective(self, pts):
+        x = np.array([p[0] for p in pts])
+        y = np.array([p[1] for p in pts])
+        keys = morton_key(x, y, order=10)
+        xi, yi = morton_inverse(keys)
+        np.testing.assert_array_equal(xi, x)
+        np.testing.assert_array_equal(yi, y)
+
+    def test_full_grid_is_permutation(self):
+        n = 16
+        ix, iy = np.meshgrid(np.arange(n), np.arange(n), indexing="ij")
+        keys = morton_key(ix.ravel(), iy.ravel(), order=4)
+        assert len(np.unique(keys)) == n * n
+        assert keys.max() == n * n - 1
+
+    def test_out_of_range_rejected(self):
+        with pytest.raises(ValueError):
+            morton_key(np.array([1 << 5]), np.array([0]), order=5)
+        with pytest.raises(ValueError):
+            morton_key(np.array([-1]), np.array([0]), order=5)
+
+    def test_order_validation(self):
+        with pytest.raises(ValueError):
+            morton_key(np.array([0]), np.array([0]), order=0)
+
+
+class TestHilbert:
+    @given(st.lists(st.tuples(coords, coords), min_size=1, max_size=50))
+    def test_bijective(self, pts):
+        x = np.array([p[0] for p in pts])
+        y = np.array([p[1] for p in pts])
+        keys = hilbert_key(x, y, order=10)
+        xi, yi = hilbert_inverse(keys, order=10)
+        np.testing.assert_array_equal(xi, x)
+        np.testing.assert_array_equal(yi, y)
+
+    def test_full_grid_is_permutation(self):
+        n = 16
+        ix, iy = np.meshgrid(np.arange(n), np.arange(n), indexing="ij")
+        keys = hilbert_key(ix.ravel(), iy.ravel(), order=4)
+        assert len(np.unique(keys)) == n * n
+        assert keys.max() == n * n - 1
+
+    def test_adjacency(self):
+        """Consecutive Hilbert cells are face neighbours (full locality)."""
+        n = 32
+        keys = np.arange(n * n, dtype=np.uint64)
+        x, y = hilbert_inverse(keys, order=5)
+        dist = np.abs(np.diff(x)) + np.abs(np.diff(y))
+        assert (dist == 1).all()
+
+    def test_morton_not_fully_adjacent(self):
+        """Morton (partially ordered) has jumps — the contrast the paper draws."""
+        n = 32
+        keys = np.arange(n * n, dtype=np.uint64)
+        x, y = morton_inverse(keys)
+        dist = np.abs(np.diff(x)) + np.abs(np.diff(y))
+        assert (dist > 1).any()
+
+    def test_scalar_input(self):
+        assert int(hilbert_key(np.array(0), np.array(0), order=4)) == 0
+
+
+class TestSfcOrder:
+    def test_orders_all_elements(self):
+        rng = np.random.default_rng(1)
+        x = rng.integers(0, 64, size=100)
+        y = rng.integers(0, 64, size=100)
+        for curve in ("hilbert", "morton"):
+            order = sfc_order(x, y, curve=curve, order=6)
+            assert sorted(order.tolist()) == list(range(100))
+
+    def test_unknown_curve(self):
+        with pytest.raises(ValueError, match="unknown curve"):
+            sfc_order(np.array([0]), np.array([0]), curve="peano")
+
+    def test_hilbert_locality_beats_morton(self):
+        """Mean jump distance along the curve: Hilbert <= Morton."""
+        n = 32
+        ix, iy = np.meshgrid(np.arange(n), np.arange(n), indexing="ij")
+        x, y = ix.ravel(), iy.ravel()
+
+        def mean_jump(curve):
+            order = sfc_order(x, y, curve=curve, order=5)
+            xs, ys = x[order], y[order]
+            return (np.abs(np.diff(xs)) + np.abs(np.diff(ys))).mean()
+
+        assert mean_jump("hilbert") <= mean_jump("morton")
