@@ -8,8 +8,6 @@ reduced").
 
 from __future__ import annotations
 
-import numpy as np
-
 from repro.experiments import figure1
 
 from conftest import BENCH_NPROCS, print_series

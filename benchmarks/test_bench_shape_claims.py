@@ -9,8 +9,6 @@ generally slightly lower".
 
 from __future__ import annotations
 
-import numpy as np
-
 from repro.experiments import APP_NAMES, shape_report
 
 from conftest import BENCH_NPROCS

@@ -9,8 +9,6 @@ communication with the penalties beta_m and beta_C.
 Run:  python examples/oil_reservoir_bl2d.py
 """
 
-import numpy as np
-
 from repro.apps import BuckleyLeverett2D, TraceGenConfig, generate_trace
 from repro.experiments import dominant_period, pearson
 from repro.model import StateSampler

@@ -14,14 +14,20 @@ import tempfile
 from pathlib import Path
 
 from repro.apps import APPLICATIONS, TraceGenConfig, generate_trace, make_application
+from repro.experiments import workload_ndim
 from repro.model import StateSampler
 from repro.trace import Trace
 
 NPROCS = 8
 
-config = TraceGenConfig(
-    base_shape=(16, 16), max_levels=3, nsteps=40, regrid_interval=4
-)
+
+def config_for(ndim: int) -> TraceGenConfig:
+    base = (16, 16) if ndim == 2 else (8, 8, 8)
+    return TraceGenConfig(
+        base_shape=base, max_levels=3, nsteps=40, regrid_interval=4
+    )
+
+
 sampler = StateSampler(nprocs=NPROCS)
 
 workdir = Path(tempfile.mkdtemp(prefix="repro_traces_"))
@@ -31,7 +37,9 @@ print(f"{'app':<6} {'snaps':>6} {'cells min..max':>16} {'patches':>8} "
       f"{'arc len':>8} {'octant flips':>13} {'file kB':>8}")
 
 for name in sorted(APPLICATIONS):
-    trace = generate_trace(make_application(name, shape=(64, 64)), config)
+    ndim = workload_ndim(name)
+    shadow = (64, 64) if ndim == 2 else (32, 32, 32)
+    trace = generate_trace(make_application(name, shape=shadow), config_for(ndim))
 
     # Persist and reload — the penalties must survive the round trip.
     path = workdir / f"{name}.json.gz"

@@ -1,13 +1,18 @@
-"""The four SAMR application kernels of the paper's validation suite.
+"""The SAMR application kernels: the paper's validation suite plus 3-D.
 
 ============  ==========================================  ==================
-Trace name    Kernel                                      Paper behaviour
+Trace name    Kernel                                      Behaviour
 ============  ==========================================  ==================
 ``tp2d``      2-D transport benchmark (GrACE)             seemingly random
 ``bl2d``      Buckley--Leverett oil-water flow (IPARS)    oscillatory
 ``sc2d``      Scalarwave numerical relativity (Cactus)    oscillatory
 ``rm2d``      Richtmyer--Meshkov instability (VTF)        seemingly random
+``tp3d``      3-D transport benchmark (this repo)         seemingly random
 ============  ==========================================  ==================
+
+The first four are the paper's single-processor traces (section 5.1.1);
+``tp3d`` extends the suite to the 3-D hierarchies production SAMR codes
+actually run.
 """
 
 from .base import ShadowApplication, TraceGenConfig, build_hierarchy, generate_trace
@@ -15,6 +20,7 @@ from .bl2d import BuckleyLeverett2D, fractional_flow
 from .rm2d import RichtmyerMeshkov2D
 from .sc2d import ScalarWave2D
 from .tp2d import Transport2D
+from .tp3d import Transport3D
 
 __all__ = [
     "ShadowApplication",
@@ -26,16 +32,18 @@ __all__ = [
     "RichtmyerMeshkov2D",
     "ScalarWave2D",
     "Transport2D",
+    "Transport3D",
     "APPLICATIONS",
     "make_application",
 ]
 
-#: Registry of the paper's four kernels, keyed by trace name.
+#: Registry of all kernels, keyed by trace name.
 APPLICATIONS = {
     "tp2d": Transport2D,
     "bl2d": BuckleyLeverett2D,
     "sc2d": ScalarWave2D,
     "rm2d": RichtmyerMeshkov2D,
+    "tp3d": Transport3D,
 }
 
 

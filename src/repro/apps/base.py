@@ -26,7 +26,6 @@ from ..clustering import (
     ClusterParams,
     buffer_flags,
     cluster_flags,
-    downsample_mask,
     gradient_indicator,
 )
 from ..geometry import Box, BoxList, rasterize_mask
@@ -66,7 +65,7 @@ class TraceGenConfig:
         Berger--Rigoutsos knobs (paper granularity: 2).
     """
 
-    base_shape: tuple[int, int] = (32, 32)
+    base_shape: tuple[int, ...] = (32, 32)
     max_levels: int = 5
     refine_ratio: int = 2
     nsteps: int = 100
@@ -79,6 +78,8 @@ class TraceGenConfig:
     )
 
     def __post_init__(self) -> None:
+        if len(self.base_shape) < 1 or any(s < 1 for s in self.base_shape):
+            raise ValueError("base_shape must have positive extents")
         if self.max_levels < 1:
             raise ValueError("max_levels must be >= 1")
         if self.refine_ratio < 2:
@@ -89,15 +90,33 @@ class TraceGenConfig:
             raise ValueError("flag_threshold must be in (0, 1)")
         if self.threshold_growth < 1.0:
             raise ValueError("threshold_growth must be >= 1")
+        if self.cluster.ndim != self.ndim:
+            # Keep the clustering knobs in the spatial dimension of the
+            # workload without forcing every caller to thread it by hand.
+            object.__setattr__(
+                self, "cluster", replace(self.cluster, ndim=self.ndim)
+            )
 
-    def level_shape(self, level: int) -> tuple[int, int]:
+    @property
+    def ndim(self) -> int:
+        """Spatial dimensionality of the workload."""
+        return len(self.base_shape)
+
+    def level_shape(self, level: int) -> tuple[int, ...]:
         """Cell counts of level ``level``'s index space."""
         r = self.refine_ratio**level
-        return (self.base_shape[0] * r, self.base_shape[1] * r)
+        return tuple(s * r for s in self.base_shape)
 
     def small(self) -> "TraceGenConfig":
-        """A cheap variant for unit tests (shallow, short, coarse)."""
-        return replace(self, base_shape=(16, 16), max_levels=3, nsteps=12)
+        """A cheap variant for unit tests (shallow, short, coarse).
+
+        Dimension-preserving: 2-D shrinks to ``16**2`` base cells, higher
+        dimensions to ``8**ndim``.
+        """
+        side = 16 if self.ndim == 2 else 8
+        return replace(
+            self, base_shape=(side,) * self.ndim, max_levels=3, nsteps=12
+        )
 
 
 class ShadowApplication(abc.ABC):
@@ -112,10 +131,13 @@ class ShadowApplication(abc.ABC):
     #: identifier used as the trace name ("tp2d", "bl2d", ...)
     name: str = "shadow"
 
+    #: spatial dimensionality of the kernel (workload registries key off it)
+    ndim: int = 2
+
     @property
     @abc.abstractmethod
-    def shape(self) -> tuple[int, int]:
-        """Shadow-grid cell counts."""
+    def shape(self) -> tuple[int, ...]:
+        """Shadow-grid cell counts (one extent per spatial dimension)."""
 
     @abc.abstractmethod
     def advance(self) -> None:
@@ -131,15 +153,17 @@ class ShadowApplication(abc.ABC):
         """Current physical time."""
 
 
-def _resample(array: np.ndarray, target: tuple[int, int], reduce: str) -> np.ndarray:
+def _resample(array: np.ndarray, target: tuple[int, ...], reduce: str) -> np.ndarray:
     """Resample a shadow-grid array onto a level's index space.
 
     Shapes must be related by integer factors per axis.  Downsampling
     reduces blocks with ``max`` (conservative for indicators); upsampling
     repeats values.
     """
+    if array.ndim != len(target):
+        raise ValueError(f"cannot resample {array.ndim}-d array to {target}")
     out = array
-    for axis in range(2):
+    for axis in range(array.ndim):
         src, dst = out.shape[axis], target[axis]
         if src == dst:
             continue
@@ -175,9 +199,11 @@ def build_hierarchy(
     Berger--Rigoutsos, and the clustered boxes are clipped against the
     refined parent patches so proper nesting holds *exactly*.
     """
-    if indicator.ndim != 2:
-        raise ValueError("indicator must be 2-d")
-    domain = Box((0, 0), config.base_shape)
+    if indicator.ndim != config.ndim:
+        raise ValueError(
+            f"{indicator.ndim}-d indicator for a {config.ndim}-d config"
+        )
+    domain = Box((0,) * config.ndim, config.base_shape)
     levels = [PatchLevel(0, [domain], ratio=1)]
     parent_boxes = BoxList([domain])
     for l in range(1, config.max_levels):
@@ -192,7 +218,9 @@ def build_hierarchy(
             flags = buffer_flags(flags, width)
         # Proper nesting: only refine inside the parent's refined region.
         parent_refined = parent_boxes.refine(config.refine_ratio)
-        parent_mask = rasterize_mask(parent_refined, Box((0, 0), shape))
+        parent_mask = rasterize_mask(
+            parent_refined, Box((0,) * config.ndim, shape)
+        )
         flags &= parent_mask
         if not flags.any():
             break

@@ -44,18 +44,26 @@ class ClusterParams:
     max_cells :
         Optional hard cap on accepted patch size; oversized efficient
         patches are bisected anyway, keeping patch counts realistic.
+    ndim :
+        Spatial dimensionality of the flag rasters this parameter set is
+        meant for.  Sizes the smallest admissible patch
+        (``granularity**ndim`` cells) for the ``max_cells`` validation;
+        :func:`cluster_flags` rejects rasters of a different rank.
     """
 
     efficiency: float = 0.8
     granularity: int = 2
     max_cells: int | None = None
+    ndim: int = 2
 
     def __post_init__(self) -> None:
         if not 0.0 < self.efficiency <= 1.0:
             raise ValueError("efficiency must be in (0, 1]")
         if self.granularity < 1:
             raise ValueError("granularity must be >= 1")
-        if self.max_cells is not None and self.max_cells < self.granularity**2:
+        if self.ndim < 1:
+            raise ValueError("ndim must be >= 1")
+        if self.max_cells is not None and self.max_cells < self.granularity**self.ndim:
             raise ValueError("max_cells too small for the granularity")
 
 
@@ -210,7 +218,11 @@ def cluster_flags(
         is flagged.
     """
     if params is None:
-        params = ClusterParams()
+        params = ClusterParams(ndim=flags.ndim)
+    if flags.ndim != params.ndim:
+        raise ValueError(
+            f"{flags.ndim}-d flags with {params.ndim}-d ClusterParams"
+        )
     if flags.dtype != bool:
         flags = flags.astype(bool)
     out: list[Box] = []

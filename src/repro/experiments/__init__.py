@@ -23,7 +23,15 @@ from .figures import (
     shape_report,
 )
 from .report import ascii_chart, render_figure1, render_figure_app, render_regret
-from .workloads import APP_NAMES, all_paper_traces, paper_config, paper_trace
+from .workloads import (
+    ALL_APP_NAMES,
+    APP_NAMES,
+    APP_NAMES_3D,
+    all_paper_traces,
+    paper_config,
+    paper_trace,
+    workload_ndim,
+)
 
 __all__ = [
     "ablation_denominator",
@@ -46,8 +54,11 @@ __all__ = [
     "render_figure1",
     "render_figure_app",
     "render_regret",
+    "ALL_APP_NAMES",
     "APP_NAMES",
+    "APP_NAMES_3D",
     "all_paper_traces",
     "paper_config",
     "paper_trace",
+    "workload_ndim",
 ]

@@ -1,10 +1,12 @@
-"""Canonical experiment workloads: the paper's four traces, cached.
+"""Canonical experiment workloads: the paper's four traces plus 3-D, cached.
 
 All experiments run off the same deterministic traces (seeded kernels, see
 :mod:`repro.apps`).  Two scales are provided:
 
-* ``"paper"`` — the paper's setup: 32x32 base grid, 5 levels of factor-2
-  refinement, 100 coarse steps, regrid every 4 (section 5.1.1);
+* ``"paper"`` — the paper's setup: 5 levels of factor-2 refinement, 100
+  coarse steps, regrid every 4 (section 5.1.1); the 3-D workload uses a
+  smaller base grid and one fewer level so paper-scale rasters stay in
+  the tens of megabytes;
 * ``"small"`` — a fast variant for unit tests and CI benchmarks.
 
 Traces are cached in memory per process, and optionally on disk.
@@ -15,50 +17,99 @@ from __future__ import annotations
 from functools import lru_cache
 from pathlib import Path
 
-from ..apps import TraceGenConfig, generate_trace, make_application
+from ..apps import APPLICATIONS, TraceGenConfig, generate_trace, make_application
 from ..trace import Trace
 
-__all__ = ["APP_NAMES", "paper_config", "paper_trace", "all_paper_traces"]
+__all__ = [
+    "APP_NAMES",
+    "APP_NAMES_3D",
+    "ALL_APP_NAMES",
+    "paper_config",
+    "paper_trace",
+    "all_paper_traces",
+    "workload_ndim",
+]
 
 APP_NAMES: tuple[str, ...] = ("rm2d", "bl2d", "sc2d", "tp2d")
-"""The paper's application suite, in Figures 4-7 order."""
+"""The paper's 2-D application suite, in Figures 4-7 order."""
+
+APP_NAMES_3D: tuple[str, ...] = tuple(
+    sorted(name for name, cls in APPLICATIONS.items() if cls.ndim == 3)
+)
+"""The 3-D workloads (derived from the kernel registry)."""
+
+ALL_APP_NAMES: tuple[str, ...] = APP_NAMES + APP_NAMES_3D
+"""Every registered workload."""
 
 
-def paper_config(scale: str = "paper") -> TraceGenConfig:
-    """Trace-generation parameters at the requested scale."""
-    if scale == "paper":
-        return TraceGenConfig(
-            base_shape=(64, 64),
-            max_levels=5,
-            nsteps=100,
-            regrid_interval=4,
-        )
-    if scale == "small":
+def _check_scale(scale: str) -> None:
+    if scale not in ("paper", "small"):
+        raise ValueError(f"scale must be 'paper' or 'small', got {scale!r}")
+
+
+def paper_config(scale: str = "paper", ndim: int = 2) -> TraceGenConfig:
+    """Trace-generation parameters at the requested scale and dimension."""
+    _check_scale(scale)
+    if ndim == 2:
+        if scale == "paper":
+            return TraceGenConfig(
+                base_shape=(64, 64),
+                max_levels=5,
+                nsteps=100,
+                regrid_interval=4,
+            )
         return TraceGenConfig(
             base_shape=(16, 16),
             max_levels=3,
             nsteps=20,
             regrid_interval=4,
         )
-    raise ValueError(f"scale must be 'paper' or 'small', got {scale!r}")
+    if ndim == 3:
+        if scale == "paper":
+            return TraceGenConfig(
+                base_shape=(16, 16, 16),
+                max_levels=4,
+                nsteps=40,
+                regrid_interval=4,
+            )
+        return TraceGenConfig(
+            base_shape=(8, 8, 8),
+            max_levels=3,
+            nsteps=12,
+            regrid_interval=4,
+        )
+    raise ValueError(f"no canonical workload config for ndim={ndim}")
 
 
-def _shadow_shape(scale: str) -> tuple[int, int]:
-    return (256, 256) if scale == "paper" else (64, 64)
+def _shadow_shape(scale: str, ndim: int) -> tuple[int, ...]:
+    if ndim == 2:
+        return (256, 256) if scale == "paper" else (64, 64)
+    return (64, 64, 64) if scale == "paper" else (32, 32, 32)
+
+
+def workload_ndim(name: str) -> int:
+    """Spatial dimensionality of a registered workload (from its kernel)."""
+    try:
+        return APPLICATIONS[name].ndim
+    except KeyError:
+        raise ValueError(
+            f"unknown application {name!r}; choose from {tuple(sorted(APPLICATIONS))}"
+        ) from None
 
 
 @lru_cache(maxsize=None)
 def paper_trace(name: str, scale: str = "paper") -> Trace:
     """The deterministic trace of one application at one scale."""
-    if name not in APP_NAMES:
-        raise ValueError(f"unknown application {name!r}; choose from {APP_NAMES}")
-    app = make_application(name, shape=_shadow_shape(scale))
-    return generate_trace(app, paper_config(scale))
+    _check_scale(scale)
+    ndim = workload_ndim(name)
+    app = make_application(name, shape=_shadow_shape(scale, ndim))
+    return generate_trace(app, paper_config(scale, ndim))
 
 
-def all_paper_traces(scale: str = "paper") -> dict[str, Trace]:
-    """All four traces keyed by name."""
-    return {name: paper_trace(name, scale) for name in APP_NAMES}
+def all_paper_traces(scale: str = "paper", ndim: int = 2) -> dict[str, Trace]:
+    """All traces of one dimensionality, keyed by name."""
+    names = APP_NAMES if ndim == 2 else APP_NAMES_3D
+    return {name: paper_trace(name, scale) for name in names}
 
 
 def save_traces(directory: str | Path, scale: str = "paper") -> list[Path]:
@@ -66,7 +117,7 @@ def save_traces(directory: str | Path, scale: str = "paper") -> list[Path]:
     directory = Path(directory)
     directory.mkdir(parents=True, exist_ok=True)
     out = []
-    for name in APP_NAMES:
+    for name in ALL_APP_NAMES:
         path = directory / f"{name}_{scale}.json.gz"
         paper_trace(name, scale).save(path)
         out.append(path)

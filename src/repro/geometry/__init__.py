@@ -10,10 +10,12 @@ from .boxlist import (
 )
 from .raster import (
     NO_OWNER,
+    block_sum,
     boxes_from_mask,
     paint_box,
     rasterize_mask,
     rasterize_owners,
+    upsample,
 )
 
 __all__ = [
@@ -25,8 +27,10 @@ __all__ = [
     "subtract_boxes",
     "union_ncells",
     "NO_OWNER",
+    "block_sum",
     "boxes_from_mask",
     "paint_box",
     "rasterize_mask",
     "rasterize_owners",
+    "upsample",
 ]

@@ -6,6 +6,11 @@ each refined cell carries the rank that owns it (and ``NO_OWNER`` outside
 the refined region).  Rasters keep every per-cell metric a vectorized numpy
 reduction, per the HPC guides — no Python-level loops over cells anywhere
 in the hot path.
+
+All helpers are dimension-general: :func:`upsample` and :func:`block_sum`
+are the N-D replacements for the per-axis ``np.repeat`` /
+``reshape(...).sum(axis=(1, 3))`` idioms, and :func:`boxes_from_mask`
+decomposes masks of any rank.
 """
 
 from __future__ import annotations
@@ -22,6 +27,8 @@ __all__ = [
     "rasterize_owners",
     "paint_box",
     "boxes_from_mask",
+    "upsample",
+    "block_sum",
 ]
 
 NO_OWNER: int = -1
@@ -33,6 +40,49 @@ def _check_domain(domain: Box) -> None:
         raise ValueError("cannot rasterize onto an empty domain")
     if any(l != 0 for l in domain.lo):
         raise ValueError("raster domains must be anchored at the origin")
+
+
+def upsample(array: np.ndarray, ratio: int) -> np.ndarray:
+    """Repeat every cell ``ratio`` times along every axis.
+
+    ``out[i0*r + a0, i1*r + a1, ...] == array[i0, i1, ...]`` — the raster
+    form of refining an index space by ``ratio``.  Implemented as a single
+    broadcast + reshape (one copy) rather than ``ndim`` chained
+    ``np.repeat`` calls.
+    """
+    if ratio < 1:
+        raise ValueError("ratio must be >= 1")
+    if ratio == 1:
+        return array
+    shape = array.shape
+    view_shape: list[int] = []
+    expand_shape: list[int] = []
+    for s in shape:
+        view_shape.extend((s, 1))
+        expand_shape.extend((s, ratio))
+    expanded = np.broadcast_to(array.reshape(view_shape), expand_shape)
+    return expanded.reshape(tuple(s * ratio for s in shape))
+
+
+def block_sum(array: np.ndarray, factor: int, dtype=None) -> np.ndarray:
+    """Sum ``factor``-sized blocks along every axis (N-D block reduction).
+
+    The inverse-resolution counterpart of :func:`upsample`: the result has
+    shape ``array.shape // factor`` and each cell holds the sum of its
+    ``factor**ndim`` source block.  Every extent must be divisible by
+    ``factor``.
+    """
+    if factor < 1:
+        raise ValueError("factor must be >= 1")
+    if factor == 1:
+        return array.astype(dtype) if dtype is not None else array
+    if any(s % factor for s in array.shape):
+        raise ValueError(f"shape {array.shape} not divisible by factor {factor}")
+    view_shape: list[int] = []
+    for s in array.shape:
+        view_shape.extend((s // factor, factor))
+    axes = tuple(range(1, 2 * array.ndim, 2))
+    return array.reshape(view_shape).sum(axis=axes, dtype=dtype)
 
 
 def paint_box(array: np.ndarray, box: Box, value: int) -> None:
@@ -84,41 +134,55 @@ def rasterize_owners(
     return owners
 
 
-def boxes_from_mask(mask: np.ndarray) -> list[Box]:
-    """Decompose a boolean raster into disjoint boxes (greedy row merge).
+def _runs_of(row: np.ndarray) -> list[Box]:
+    """Maximal 1-D runs of True cells, in ascending order."""
+    idx = np.flatnonzero(row)
+    if idx.size == 0:
+        return []
+    breaks = np.flatnonzero(np.diff(idx) > 1)
+    starts = np.concatenate(([0], breaks + 1))
+    ends = np.concatenate((breaks, [idx.size - 1]))
+    return [Box((int(idx[s]),), (int(idx[e]) + 1,)) for s, e in zip(starts, ends)]
 
-    Scans rows of the first axis, emits maximal runs along the last axis,
-    then greedily merges vertically-adjacent identical runs.  Exact (the
-    union of the result equals the mask) but not minimal; used to recover
-    patch sets from masks in tests and in the clustering fallback path.
+
+def boxes_from_mask(mask: np.ndarray) -> list[Box]:
+    """Decompose a boolean raster into disjoint boxes (greedy slab merge).
+
+    Works in any dimension: each slab along the first axis is decomposed
+    recursively, and identical sub-boxes of consecutive slabs are merged
+    greedily along the first axis (the N-D generalization of the classic
+    row-run merge).  Exact (the union of the result equals the mask) but
+    not minimal; used to recover patch sets from masks in tests and in the
+    clustering fallback path.
+
+    The output order is deterministic: boxes are emitted as their extent
+    along the first axis closes, sub-boxes in recursive scan order.
     """
-    if mask.ndim != 2:
-        raise ValueError("boxes_from_mask supports 2-d masks")
-    nrows, _ = mask.shape
-    # Active runs: (col_lo, col_hi) -> row_start, carried while identical.
-    active: dict[tuple[int, int], int] = {}
+    mask = np.asarray(mask)
+    if mask.ndim < 1:
+        raise ValueError("boxes_from_mask needs at least a 1-d mask")
+    if mask.dtype != bool:
+        mask = mask.astype(bool)
+    if mask.ndim == 1:
+        return _runs_of(mask)
+    nslabs = mask.shape[0]
+    # Active sub-boxes: sub-box -> start slab, carried while identical.
+    # Insertion order is deterministic, so iteration (and hence output
+    # order) is too.
+    active: dict[Box, int] = {}
     out: list[Box] = []
 
-    def runs_of(row: np.ndarray) -> list[tuple[int, int]]:
-        idx = np.flatnonzero(row)
-        if idx.size == 0:
-            return []
-        breaks = np.flatnonzero(np.diff(idx) > 1)
-        starts = np.concatenate(([0], breaks + 1))
-        ends = np.concatenate((breaks, [idx.size - 1]))
-        return [(int(idx[s]), int(idx[e]) + 1) for s, e in zip(starts, ends)]
+    def close(sub: Box, start: int, stop: int) -> None:
+        out.append(Box((start, *sub.lo), (stop, *sub.hi)))
 
-    for r in range(nrows):
-        current = set(runs_of(mask[r]))
-        # Close runs that do not continue into this row.
-        for run in list(active):
-            if run not in current:
-                row_start = active.pop(run)
-                out.append(Box((row_start, run[0]), (r, run[1])))
-        # Open new runs.
-        for run in current:
-            if run not in active:
-                active[run] = r
-    for run, row_start in active.items():
-        out.append(Box((row_start, run[0]), (nrows, run[1])))
+    for r in range(nslabs):
+        current = boxes_from_mask(mask[r])
+        current_set = set(current)
+        for sub in [s for s in active if s not in current_set]:
+            close(sub, active.pop(sub), r)
+        for sub in current:
+            if sub not in active:
+                active[sub] = r
+    for sub, start in active.items():
+        close(sub, start, nslabs)
     return out

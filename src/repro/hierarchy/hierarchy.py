@@ -8,7 +8,7 @@ partitioners, the execution simulator and the penalties ``beta_m`` /
 
 from __future__ import annotations
 
-from typing import Iterable, Iterator, Sequence
+from typing import Iterator, Sequence
 
 import numpy as np
 

@@ -40,7 +40,7 @@ from __future__ import annotations
 
 import numpy as np
 
-from ..geometry import intersection_volume
+from ..geometry import block_sum, intersection_volume
 from ..hierarchy import GridHierarchy
 
 __all__ = [
@@ -184,13 +184,11 @@ def load_imbalance_penalty(hierarchy: GridHierarchy) -> float:
     * one deep needle of refinement -> max column dwarfs the mean ->
       ``beta_L -> 1``.
     """
-    bx, by = hierarchy.domain.shape
-    work = np.zeros((bx, by), dtype=np.float64)
+    work = np.zeros(hierarchy.domain.shape, dtype=np.float64)
     for level in hierarchy:
         mask = hierarchy.level_mask(level.index)
         ratio = hierarchy.cumulative_ratio(level.index)
-        counts = mask.reshape(bx, ratio, by, ratio).sum(axis=(1, 3))
-        work += counts * float(level.time_refinement_weight())
+        work += block_sum(mask, ratio) * float(level.time_refinement_weight())
     peak = work.max()
     if peak == 0:
         return 0.0

@@ -8,19 +8,19 @@ land on the same rank.  This eliminates inter-level communication and
 exposes all parallelism, at the cost of intractable load imbalance for
 deep, localized hierarchies ("bad cuts").
 
-Implementation: atomic units are ``unit_size x unit_size`` blocks of base
-cells ordered along a space-filling curve; unit weights are the exact
-column workloads (vectorized block reductions over the level masks);
-chains-on-chains splits the 1-D sequence.
+Implementation: atomic units are ``unit_size``-sided blocks of base cells
+(squares in 2-D, cubes in 3-D, ...) ordered along a space-filling curve;
+unit weights are the exact column workloads (vectorized block reductions
+over the level masks); chains-on-chains splits the 1-D sequence.
 """
 
 from __future__ import annotations
 
 import numpy as np
 
-from ..geometry import NO_OWNER
+from ..geometry import NO_OWNER, block_sum, upsample
 from ..hierarchy import GridHierarchy
-from ..sfc import sfc_order
+from ..sfc import sfc_order_nd
 from .base import PartitionResult, Partitioner
 from .chains import exact_chains, greedy_chains, segments_to_ranks
 
@@ -34,22 +34,21 @@ def column_workloads(
 
     The weight of a unit is ``sum_l w_l * (refined cells of level l above
     the unit)`` with ``w_l`` the time-refinement weight — exactly the work
-    a rank inherits by owning that piece of the domain.
+    a rank inherits by owning that piece of the domain.  Works for any
+    spatial dimensionality of the hierarchy.
     """
-    bx, by = hierarchy.domain.shape
-    if bx % unit_size or by % unit_size:
+    base_shape = hierarchy.domain.shape
+    if any(s % unit_size for s in base_shape):
         raise ValueError(
-            f"unit_size {unit_size} does not divide base shape {(bx, by)}"
+            f"unit_size {unit_size} does not divide base shape {base_shape}"
         )
-    ux, uy = bx // unit_size, by // unit_size
-    weights = np.zeros((ux, uy), dtype=np.float64)
+    unit_shape = tuple(s // unit_size for s in base_shape)
+    weights = np.zeros(unit_shape, dtype=np.float64)
     for level in hierarchy:
         mask = hierarchy.level_mask(level.index)
         ratio = hierarchy.cumulative_ratio(level.index)
         block = unit_size * ratio  # fine cells per unit per axis
-        counts = (
-            mask.reshape(ux, block, uy, block).sum(axis=(1, 3), dtype=np.int64)
-        )
+        counts = block_sum(mask, block, dtype=np.int64)
         weights += counts * float(level.time_refinement_weight())
     return weights
 
@@ -108,29 +107,23 @@ class DomainSfcPartitioner(Partitioner):
     ) -> PartitionResult:
         """Assign atomic-unit columns to ranks along the curve."""
         weights = column_workloads(hierarchy, self.unit_size)
-        ux, uy = weights.shape
-        ix, iy = np.meshgrid(np.arange(ux), np.arange(uy), indexing="ij")
-        order_bits = max(1, int(np.ceil(np.log2(max(ux, uy)))))
-        order = sfc_order(
-            ix.ravel(), iy.ravel(), curve=self.curve, order=order_bits
-        )
+        unit_shape = weights.shape
+        coords = [c.ravel() for c in np.indices(unit_shape)]
+        order_bits = max(1, int(np.ceil(np.log2(max(unit_shape)))))
+        order = sfc_order_nd(coords, curve=self.curve, order=order_bits)
         seq_weights = weights.ravel()[order]
         solver = exact_chains if self.exact else greedy_chains
         bounds = solver(seq_weights, nprocs)
         seq_ranks = segments_to_ranks(bounds, seq_weights.size)
-        unit_owner = np.empty(ux * uy, dtype=np.int32)
+        unit_owner = np.empty(weights.size, dtype=np.int32)
         unit_owner[order] = seq_ranks
-        unit_owner = unit_owner.reshape(ux, uy)
+        unit_owner = unit_owner.reshape(unit_shape)
         # Expand unit owners to the base grid, then to each level.
-        base_owner = np.repeat(
-            np.repeat(unit_owner, self.unit_size, axis=0), self.unit_size, axis=1
-        )
+        base_owner = upsample(unit_owner, self.unit_size)
         rasters = []
         for level in hierarchy:
             ratio = hierarchy.cumulative_ratio(level.index)
-            fine_owner = np.repeat(
-                np.repeat(base_owner, ratio, axis=0), ratio, axis=1
-            )
+            fine_owner = upsample(base_owner, ratio)
             mask = hierarchy.level_mask(level.index)
             raster = np.where(mask, fine_owner, np.int32(NO_OWNER)).astype(np.int32)
             rasters.append(raster)

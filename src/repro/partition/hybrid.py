@@ -37,9 +37,9 @@ from dataclasses import dataclass
 import numpy as np
 from scipy import ndimage
 
-from ..geometry import NO_OWNER
+from ..geometry import NO_OWNER, block_sum, upsample
 from ..hierarchy import GridHierarchy
-from ..sfc import sfc_order
+from ..sfc import sfc_order_nd
 from .base import PartitionResult, Partitioner
 from .chains import greedy_chains, segments_to_ranks
 
@@ -159,8 +159,6 @@ class NaturePlusFable(Partitioner):
         nprocs: int,
         previous: PartitionResult | None = None,
     ) -> PartitionResult:
-        p = self.params
-        base_shape = hierarchy.domain.shape
         rasters = [
             np.full(hierarchy.level_domain(l).shape, NO_OWNER, dtype=np.int32)
             for l in range(hierarchy.nlevels)
@@ -195,13 +193,11 @@ class NaturePlusFable(Partitioner):
     # ------------------------------------------------------------------
     def _column_work(self, hierarchy: GridHierarchy) -> np.ndarray:
         """Workload of the refinement column above each base cell."""
-        bx, by = hierarchy.domain.shape
-        work = np.zeros((bx, by), dtype=np.float64)
+        work = np.zeros(hierarchy.domain.shape, dtype=np.float64)
         for level in hierarchy:
             mask = hierarchy.level_mask(level.index)
             ratio = hierarchy.cumulative_ratio(level.index)
-            counts = mask.reshape(bx, ratio, by, ratio).sum(axis=(1, 3))
-            work += counts * float(level.time_refinement_weight())
+            work += block_sum(mask, ratio) * float(level.time_refinement_weight())
         return work
 
     @staticmethod
@@ -266,18 +262,15 @@ class NaturePlusFable(Partitioner):
         for lc in range(0, nlev, p.bilevel_size):
             lf_range = range(lc, min(lc + p.bilevel_size, nlev))
             coarse_ratio = hierarchy.cumulative_ratio(lc)
-            cx = core_mask.shape[0] * coarse_ratio
-            cy = core_mask.shape[1] * coarse_ratio
-            core_at_lc = np.repeat(
-                np.repeat(core_mask, coarse_ratio, axis=0), coarse_ratio, axis=1
-            )
+            coarse_shape = tuple(s * coarse_ratio for s in core_mask.shape)
+            core_at_lc = upsample(core_mask, coarse_ratio)
             # Combined weight raster at the bi-level's coarse resolution.
-            weight = np.zeros((cx, cy), dtype=np.float64)
-            present = np.zeros((cx, cy), dtype=bool)
+            weight = np.zeros(coarse_shape, dtype=np.float64)
+            present = np.zeros(coarse_shape, dtype=bool)
             for lf in lf_range:
                 mask = hierarchy.level_mask(lf)
                 sub = hierarchy.cumulative_ratio(lf) // coarse_ratio
-                counts = mask.reshape(cx, sub, cy, sub).sum(axis=(1, 3))
+                counts = block_sum(mask, sub)
                 weight += counts * float(
                     hierarchy[lf].time_refinement_weight()
                 )
@@ -291,11 +284,9 @@ class NaturePlusFable(Partitioner):
             # Paint every member level of the bi-level from one decomposition.
             for lf in lf_range:
                 sub = hierarchy.cumulative_ratio(lf) // coarse_ratio
-                fine_owner = np.repeat(np.repeat(owner, sub, axis=0), sub, axis=1)
+                fine_owner = upsample(owner, sub)
                 mask = hierarchy.level_mask(lf)
-                core_at_lf = np.repeat(
-                    np.repeat(core_at_lc, sub, axis=0), sub, axis=1
-                )
+                core_at_lf = upsample(core_at_lc, sub)
                 sel = mask & core_at_lf
                 rasters[lf][sel] = fine_owner[sel]
 
@@ -312,26 +303,25 @@ class NaturePlusFable(Partitioner):
         (values meaningless outside ``present``).
         """
         p = self.params
-        nx, ny = weight.shape
-        ux = -(-nx // unit)
-        uy = -(-ny // unit)
-        pad_x, pad_y = ux * unit - nx, uy * unit - ny
-        wpad = np.pad(weight, ((0, pad_x), (0, pad_y)))
-        unit_w = wpad.reshape(ux, unit, uy, unit).sum(axis=(1, 3))
-        ix, iy = np.meshgrid(np.arange(ux), np.arange(uy), indexing="ij")
+        shape = weight.shape
+        unit_shape = tuple(-(-s // unit) for s in shape)
+        pad = [(0, u * unit - s) for u, s in zip(unit_shape, shape)]
+        wpad = np.pad(weight, pad)
+        unit_w = block_sum(wpad, unit)
+        coords = np.indices(unit_shape).reshape(len(shape), -1)
         nonzero = unit_w.ravel() > 0
-        order_bits = max(1, int(np.ceil(np.log2(max(ux, uy)))))
-        order = sfc_order(
-            ix.ravel()[nonzero], iy.ravel()[nonzero], curve=p.curve, order=order_bits
+        order_bits = max(1, int(np.ceil(np.log2(max(unit_shape)))))
+        order = sfc_order_nd(
+            [c[nonzero] for c in coords], curve=p.curve, order=order_bits
         )
         seq_w = unit_w.ravel()[nonzero][order]
         seq_rank = _assign_sequence(seq_w, ranks, p.q)
-        unit_owner = np.full(ux * uy, NO_OWNER, dtype=np.int32)
+        unit_owner = np.full(unit_w.size, NO_OWNER, dtype=np.int32)
         flat_idx = np.flatnonzero(nonzero)[order]
         unit_owner[flat_idx] = seq_rank
-        unit_owner = unit_owner.reshape(ux, uy)
-        owner = np.repeat(np.repeat(unit_owner, unit, axis=0), unit, axis=1)
-        owner = owner[:nx, :ny]
+        unit_owner = unit_owner.reshape(unit_shape)
+        owner = upsample(unit_owner, unit)
+        owner = owner[tuple(slice(0, s) for s in shape)]
         # Cells in `present` whose unit had zero aggregate weight (possible
         # when `present` marks presence but weights vanish) inherit the
         # group's first rank.

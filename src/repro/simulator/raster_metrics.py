@@ -12,8 +12,7 @@ from __future__ import annotations
 
 import numpy as np
 
-from ..geometry import NO_OWNER
-from ..hierarchy import GridHierarchy
+from ..geometry import NO_OWNER, upsample
 from ..partition import PartitionResult
 
 __all__ = [
@@ -48,8 +47,12 @@ def ghost_message_pairs(raster: np.ndarray) -> int:
 
     Approximates the per-step message count of the ghost exchange (each
     adjacent rank pair exchanges one message per direction per step).
+
+    Fully vectorized: the unordered (owner, owner) pairs of each cut face
+    are packed into single int64 keys (``lo << 32 | hi``; ranks are int32)
+    and deduplicated with one ``np.unique`` over all axes.
     """
-    pairs: set[tuple[int, int]] = set()
+    packed: list[np.ndarray] = []
     for axis in range(raster.ndim):
         a = np.moveaxis(raster, axis, 0)[:-1]
         b = np.moveaxis(raster, axis, 0)[1:]
@@ -59,8 +62,10 @@ def ghost_message_pairs(raster: np.ndarray) -> int:
             bv = b[faces].astype(np.int64)
             lo = np.minimum(av, bv)
             hi = np.maximum(av, bv)
-            pairs.update(zip(lo.tolist(), hi.tolist()))
-    return 2 * len(pairs)
+            packed.append((lo << np.int64(32)) | hi)
+    if not packed:
+        return 0
+    return 2 * int(np.unique(np.concatenate(packed)).size)
 
 
 def per_rank_comm_cells(
@@ -94,7 +99,7 @@ def interlevel_transfer_cells(
         raise ValueError(
             f"fine shape {fine.shape} does not equal coarse {coarse.shape} x {ratio}"
         )
-    parent = np.repeat(np.repeat(coarse, ratio, axis=0), ratio, axis=1)
+    parent = upsample(coarse, ratio)
     mask = (fine != NO_OWNER) & (parent != NO_OWNER) & (fine != parent)
     return int(mask.sum())
 
@@ -128,13 +133,13 @@ def migration_cells(prev: PartitionResult, cur: PartitionResult) -> int:
                 )
             src_l = prev.owners[0]
         else:
-            if b.shape[0] % source.shape[0]:
+            ratio = b.shape[0] // source.shape[0] if source.shape[0] else 0
+            if ratio < 1 or b.shape != tuple(s * ratio for s in source.shape):
                 raise ValueError(
                     f"level {l} shape {b.shape} not a multiple of level "
                     f"{l - 1} shape {source.shape}"
                 )
-            ratio = b.shape[0] // source.shape[0]
-            src_l = np.repeat(np.repeat(source, ratio, axis=0), ratio, axis=1)
+            src_l = upsample(source, ratio)
         if l < prev.nlevels:
             pl = prev.owners[l]
             if pl.shape != b.shape:

@@ -16,7 +16,7 @@ raster reductions (:mod:`repro.simulator.raster_metrics`).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 import numpy as np
 

@@ -5,7 +5,8 @@ from __future__ import annotations
 import numpy as np
 import pytest
 
-from repro.apps import TraceGenConfig, generate_trace, make_application
+from repro.apps import APPLICATIONS, TraceGenConfig, generate_trace, make_application
+from repro.experiments import workload_ndim
 from repro.geometry import Box
 from repro.hierarchy import GridHierarchy, PatchLevel
 from repro.trace import Trace
@@ -24,10 +25,11 @@ def small_config() -> TraceGenConfig:
 
 @pytest.fixture(scope="session")
 def small_traces(small_config) -> dict[str, Trace]:
-    """One small trace per application kernel (generated once per session)."""
+    """One small trace per 2-D application kernel (generated once per session)."""
     return {
         name: generate_trace(make_application(name, shape=(64, 64)), small_config)
-        for name in ("tp2d", "bl2d", "sc2d", "rm2d")
+        for name in sorted(APPLICATIONS)
+        if workload_ndim(name) == 2
     }
 
 

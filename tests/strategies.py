@@ -7,27 +7,40 @@ from hypothesis import strategies as st
 from repro.geometry import Box, BoxList
 
 
-def boxes_2d(max_coord: int = 32, allow_empty: bool = False):
-    """Strategy for 2-d boxes within ``[0, max_coord)^2``."""
-
-    def make(x0, x1, y0, y1):
-        lo = (min(x0, x1), min(y0, y1))
-        hi = (max(x0, x1), max(y0, y1))
-        return Box(lo, hi)
+def boxes_nd(ndim: int = 2, max_coord: int = 32, allow_empty: bool = False):
+    """Strategy for ``ndim``-dimensional boxes within ``[0, max_coord)**ndim``."""
+    if ndim < 1:
+        raise ValueError("ndim must be >= 1")
 
     coord = st.integers(min_value=0, max_value=max_coord)
-    strat = st.builds(make, coord, coord, coord, coord)
+    pair = st.tuples(coord, coord)
+
+    def make(pairs):
+        lo = tuple(min(a, b) for a, b in pairs)
+        hi = tuple(max(a, b) for a, b in pairs)
+        return Box(lo, hi)
+
+    strat = st.builds(make, st.tuples(*([pair] * ndim)))
     if not allow_empty:
         strat = strat.filter(lambda b: not b.empty)
     return strat
 
 
-def disjoint_boxlists(max_boxes: int = 6, max_coord: int = 24):
+def boxes_2d(max_coord: int = 32, allow_empty: bool = False):
+    """Strategy for 2-d boxes within ``[0, max_coord)^2``."""
+    return boxes_nd(2, max_coord=max_coord, allow_empty=allow_empty)
+
+
+def disjoint_boxlists(max_boxes: int = 6, max_coord: int = 24, ndim: int = 2):
     """Strategy for internally-disjoint box sets (subtract as we build)."""
 
     @st.composite
     def build(draw):
-        raw = draw(st.lists(boxes_2d(max_coord=max_coord), max_size=max_boxes))
+        raw = draw(
+            st.lists(
+                boxes_nd(ndim, max_coord=max_coord), max_size=max_boxes
+            )
+        )
         out: list[Box] = []
         for b in raw:
             frags = [b]

@@ -12,20 +12,30 @@ from repro.apps import (
     ScalarWave2D,
     TraceGenConfig,
     Transport2D,
+    Transport3D,
     build_hierarchy,
     fractional_flow,
     generate_trace,
     make_application,
 )
 from repro.clustering import gradient_indicator
+from repro.experiments import workload_ndim
 
 
 ALL_APPS = sorted(APPLICATIONS)
 
+#: the kernels covered by the 2-D ``small_traces`` session fixture
+TRACED_APPS = [name for name in ALL_APPS if workload_ndim(name) == 2]
+
+
+def app_shape(name: str, side: int) -> tuple[int, ...]:
+    """A cubic shadow-grid shape of the kernel's dimensionality."""
+    return (side,) * workload_ndim(name)
+
 
 class TestRegistry:
-    def test_four_kernels(self):
-        assert set(APPLICATIONS) == {"tp2d", "bl2d", "sc2d", "rm2d"}
+    def test_kernels(self):
+        assert set(APPLICATIONS) == {"tp2d", "bl2d", "sc2d", "rm2d", "tp3d"}
 
     def test_make_application(self):
         app = make_application("tp2d", shape=(32, 32))
@@ -65,29 +75,31 @@ class TestTraceGenConfig:
 @pytest.mark.parametrize("name", ALL_APPS)
 class TestKernelBasics:
     def test_advance_progresses_time(self, name):
-        app = make_application(name, shape=(32, 32))
+        app = make_application(name, shape=app_shape(name, 32))
         t0 = app.time
         app.advance()
         assert app.time > t0
 
     def test_field_shape_and_finite(self, name):
-        app = make_application(name, shape=(32, 32))
+        shape = app_shape(name, 32)
+        app = make_application(name, shape=shape)
         for _ in range(3):
             app.advance()
         field = app.indicator_field()
-        assert field.shape == (32, 32)
+        assert field.shape == shape
         assert np.isfinite(field).all()
 
     def test_deterministic(self, name):
-        a = make_application(name, shape=(32, 32))
-        b = make_application(name, shape=(32, 32))
+        shape = app_shape(name, 32)
+        a = make_application(name, shape=shape)
+        b = make_application(name, shape=shape)
         for _ in range(2):
             a.advance()
             b.advance()
         np.testing.assert_array_equal(a.indicator_field(), b.indicator_field())
 
     def test_field_changes(self, name):
-        app = make_application(name, shape=(32, 32))
+        app = make_application(name, shape=app_shape(name, 32))
         before = app.indicator_field().copy()
         for _ in range(4):
             app.advance()
@@ -95,7 +107,7 @@ class TestKernelBasics:
 
     def test_too_small_grid_rejected(self, name):
         with pytest.raises(ValueError):
-            make_application(name, shape=(4, 4))
+            make_application(name, shape=app_shape(name, 4))
 
 
 class TestPhysics:
@@ -173,6 +185,26 @@ class TestPhysics:
             app.advance()
         assert app.indicator_field().sum() == pytest.approx(m0, rel=0.1)
 
+    def test_tp3d_mass_roughly_conserved(self):
+        app = Transport3D(shape=(32, 32, 32))
+        m0 = app.indicator_field().sum()
+        for _ in range(10):
+            app.advance()
+        assert app.indicator_field().sum() == pytest.approx(m0, rel=0.1)
+
+    def test_tp3d_blobs_move_in_all_dimensions(self):
+        """The vertical shear must push features through the third axis."""
+        app = Transport3D(shape=(32, 32, 32))
+        profile0 = app.indicator_field().sum(axis=(0, 1))
+        for _ in range(8):
+            app.advance()
+        profile1 = app.indicator_field().sum(axis=(0, 1))
+        assert not np.allclose(profile0, profile1, rtol=1e-3)
+
+    def test_tp3d_rejects_2d_shape(self):
+        with pytest.raises(ValueError):
+            Transport3D(shape=(32, 32))
+
 
 class TestBuildHierarchy:
     def test_flat_indicator_gives_base_only(self):
@@ -214,12 +246,12 @@ class TestGenerateTrace:
         tr = small_traces["tp2d"]
         assert [s.step for s in tr] == [0, 4, 8, 12]
 
-    @pytest.mark.parametrize("name", ALL_APPS)
+    @pytest.mark.parametrize("name", TRACED_APPS)
     def test_all_hierarchies_valid(self, small_traces, name):
         for snap in small_traces[name]:
             snap.hierarchy.validate()
 
-    @pytest.mark.parametrize("name", ALL_APPS)
+    @pytest.mark.parametrize("name", TRACED_APPS)
     def test_metadata_recorded(self, small_traces, name):
         md = small_traces[name].metadata
         assert md["max_levels"] == 3

@@ -4,7 +4,6 @@ from __future__ import annotations
 
 import pytest
 from hypothesis import given, settings
-from hypothesis import strategies as st
 
 from repro.geometry import (
     Box,
@@ -15,7 +14,7 @@ from repro.geometry import (
     union_ncells,
 )
 
-from tests.strategies import boxes_2d, disjoint_boxlists
+from tests.strategies import disjoint_boxlists
 
 
 class TestIntersectionVolume:

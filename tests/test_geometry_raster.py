@@ -9,10 +9,12 @@ from hypothesis import given, settings
 from repro.geometry import (
     NO_OWNER,
     Box,
+    block_sum,
     boxes_from_mask,
     paint_box,
     rasterize_mask,
     rasterize_owners,
+    upsample,
 )
 
 from tests.strategies import disjoint_boxlists
@@ -75,6 +77,38 @@ class TestRasterizeOwners:
             rasterize_owners([(Box((0, 0), (1, 1)), -2)], Box((0, 0), (4, 4)))
 
 
+class TestUpsampleBlockSum:
+    @pytest.mark.parametrize("shape", [(4,), (3, 5), (2, 3, 4)])
+    def test_upsample_matches_repeat(self, shape):
+        rng = np.random.default_rng(0)
+        a = rng.integers(0, 100, size=shape)
+        expected = a
+        for axis in range(a.ndim):
+            expected = np.repeat(expected, 3, axis=axis)
+        np.testing.assert_array_equal(upsample(a, 3), expected)
+
+    def test_upsample_identity(self):
+        a = np.arange(6).reshape(2, 3)
+        assert upsample(a, 1) is a
+
+    def test_upsample_validation(self):
+        with pytest.raises(ValueError):
+            upsample(np.zeros((2, 2)), 0)
+
+    @pytest.mark.parametrize("shape", [(6,), (4, 6), (4, 2, 6)])
+    def test_block_sum_inverts_upsample(self, shape):
+        rng = np.random.default_rng(1)
+        a = rng.integers(0, 50, size=shape)
+        out = block_sum(upsample(a, 2), 2, dtype=np.int64)
+        np.testing.assert_array_equal(out, a * 2**a.ndim)
+
+    def test_block_sum_validation(self):
+        with pytest.raises(ValueError):
+            block_sum(np.zeros((5, 5)), 2)
+        with pytest.raises(ValueError):
+            block_sum(np.zeros((4, 4)), 0)
+
+
 class TestBoxesFromMask:
     def test_single_block(self):
         mask = np.zeros((8, 8), dtype=bool)
@@ -101,9 +135,24 @@ class TestBoxesFromMask:
     def test_empty_mask(self):
         assert boxes_from_mask(np.zeros((4, 4), dtype=bool)) == []
 
-    def test_rejects_3d(self):
-        with pytest.raises(ValueError):
-            boxes_from_mask(np.zeros((2, 2, 2), dtype=bool))
+    def test_1d_runs(self):
+        mask = np.array([0, 1, 1, 0, 1, 0, 1, 1], dtype=bool)
+        boxes = boxes_from_mask(mask)
+        assert boxes == [Box((1,), (3,)), Box((4,), (5,)), Box((6,), (8,))]
+
+    def test_3d_block(self):
+        mask = np.zeros((6, 6, 6), dtype=bool)
+        mask[1:4, 2:5, 0:3] = True
+        boxes = boxes_from_mask(mask)
+        assert boxes == [Box((1, 2, 0), (4, 5, 3))]
+
+    def test_deterministic_order(self):
+        """Repeated decompositions of the same mask are identical lists."""
+        rng = np.random.default_rng(7)
+        mask = rng.random((12, 12)) > 0.55
+        first = boxes_from_mask(mask)
+        for _ in range(3):
+            assert boxes_from_mask(mask.copy()) == first
 
     @given(disjoint_boxlists())
     @settings(max_examples=60, deadline=None)
@@ -115,6 +164,19 @@ class TestBoxesFromMask:
         recon = rasterize_mask(boxes, domain)
         assert (recon == mask).all()
         # Result must be disjoint.
+        for i, a in enumerate(boxes):
+            for b in boxes[i + 1 :]:
+                assert not a.intersects(b)
+
+    @given(disjoint_boxlists(max_boxes=4, max_coord=10, ndim=3))
+    @settings(max_examples=40, deadline=None)
+    def test_roundtrip_property_3d(self, lst):
+        """3-D mask -> boxes -> mask is the identity and disjoint."""
+        domain = Box((0, 0, 0), (10, 10, 10))
+        mask = rasterize_mask(lst, domain)
+        boxes = boxes_from_mask(mask)
+        recon = rasterize_mask(boxes, domain)
+        assert (recon == mask).all()
         for i, a in enumerate(boxes):
             for b in boxes[i + 1 :]:
                 assert not a.intersects(b)

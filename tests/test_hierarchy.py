@@ -4,7 +4,7 @@ from __future__ import annotations
 
 import pytest
 
-from repro.geometry import Box, BoxList
+from repro.geometry import Box
 from repro.hierarchy import GridHierarchy, PatchLevel
 
 

@@ -3,7 +3,6 @@
 from __future__ import annotations
 
 import numpy as np
-import pytest
 
 from repro.geometry import NO_OWNER, Box
 from repro.hierarchy import GridHierarchy, PatchLevel

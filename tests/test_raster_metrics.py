@@ -2,6 +2,8 @@
 
 from __future__ import annotations
 
+import itertools
+
 import numpy as np
 import pytest
 
@@ -18,6 +20,12 @@ from repro.simulator import (
 
 def owners(array) -> np.ndarray:
     return np.asarray(array, dtype=np.int32)
+
+
+def random_owners(rng, shape, nprocs=5, hole_fraction=0.3) -> np.ndarray:
+    raster = rng.integers(0, nprocs, size=shape).astype(np.int32)
+    raster[rng.random(shape) < hole_fraction] = NO_OWNER
+    return raster
 
 
 class TestGhostExchange:
@@ -103,6 +111,82 @@ class TestInterlevel:
             interlevel_transfer_cells(
                 owners(np.zeros((2, 2))), owners(np.zeros((4, 4))), 0
             )
+
+
+class TestBruteForce3D:
+    """3-D metrics must agree with naive per-cell counting."""
+
+    def test_ghost_exchange_and_pairs(self):
+        rng = np.random.default_rng(11)
+        raster = random_owners(rng, (6, 5, 4))
+        faces = 0
+        pairs: set[tuple[int, int]] = set()
+        per_rank = np.zeros(5, dtype=np.int64)
+        nx, ny, nz = raster.shape
+        for i, j, k in itertools.product(range(nx), range(ny), range(nz)):
+            a = raster[i, j, k]
+            if a == NO_OWNER:
+                continue
+            for di, dj, dk in ((1, 0, 0), (0, 1, 0), (0, 0, 1)):
+                ii, jj, kk = i + di, j + dj, k + dk
+                if ii >= nx or jj >= ny or kk >= nz:
+                    continue
+                b = raster[ii, jj, kk]
+                if b == NO_OWNER or b == a:
+                    continue
+                faces += 1
+                pairs.add((min(a, b), max(a, b)))
+                per_rank[a] += 1
+                per_rank[b] += 1
+        assert ghost_exchange_cells(raster, ghost_width=1) == 2 * faces
+        assert ghost_message_pairs(raster) == 2 * len(pairs)
+        np.testing.assert_array_equal(
+            per_rank_comm_cells(raster, nprocs=5), per_rank
+        )
+
+    def test_interlevel_transfer(self):
+        rng = np.random.default_rng(12)
+        coarse = random_owners(rng, (3, 4, 2))
+        fine = random_owners(rng, (6, 8, 4))
+        expected = 0
+        for i, j, k in itertools.product(range(6), range(8), range(4)):
+            f = fine[i, j, k]
+            c = coarse[i // 2, j // 2, k // 2]
+            if f != NO_OWNER and c != NO_OWNER and f != c:
+                expected += 1
+        assert interlevel_transfer_cells(coarse, fine, 2) == expected
+
+    def test_migration(self):
+        rng = np.random.default_rng(13)
+        shape0, shape1 = (3, 3, 3), (6, 6, 6)
+        prev = PartitionResult(
+            owners=(
+                rng.integers(0, 4, size=shape0).astype(np.int32),
+                random_owners(rng, shape1, nprocs=4),
+            ),
+            nprocs=4,
+        )
+        cur = PartitionResult(
+            owners=(
+                rng.integers(0, 4, size=shape0).astype(np.int32),
+                random_owners(rng, shape1, nprocs=4),
+            ),
+            nprocs=4,
+        )
+        expected = 0
+        for i, j, k in itertools.product(range(3), repeat=3):
+            if cur.owners[0][i, j, k] != prev.owners[0][i, j, k]:
+                expected += 1
+        for i, j, k in itertools.product(range(6), repeat=3):
+            b = cur.owners[1][i, j, k]
+            if b == NO_OWNER:
+                continue
+            src = prev.owners[1][i, j, k]
+            if src == NO_OWNER:
+                src = prev.owners[0][i // 2, j // 2, k // 2]
+            if src != b:
+                expected += 1
+        assert migration_cells(prev, cur) == expected
 
 
 class TestMigration:

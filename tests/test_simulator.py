@@ -2,7 +2,6 @@
 
 from __future__ import annotations
 
-import numpy as np
 import pytest
 
 from repro.partition import (
@@ -10,7 +9,7 @@ from repro.partition import (
     NaturePlusFable,
     PatchBasedPartitioner,
 )
-from repro.simulator import MachineModel, SimulationResult, TraceSimulator
+from repro.simulator import MachineModel, TraceSimulator
 
 
 class TestMachineModel:
