@@ -8,6 +8,13 @@ pytest output doubles as the reproduction record.
 Scale is controlled by the ``REPRO_BENCH_SCALE`` environment variable:
 ``small`` (default — minutes-level CI budget) or ``paper`` (the full
 setup of section 5.1.1).
+
+Figure and ablation benchmarks submit their replays through
+:mod:`repro.engine`, so results land in the content-addressed store
+(``REPRO_CACHE_DIR``, default ``~/.cache/repro``) and are shared between
+benchmark files — the Nature+Fable replay timed for Figure 5 is reused
+by the meta-vs-static grid.  A *re*-run of the suite therefore times the
+warm-store path; ``python -m repro cache clear`` restores cold timings.
 """
 
 from __future__ import annotations
@@ -40,7 +47,9 @@ def scale() -> str:
 @pytest.fixture(scope="session", autouse=True)
 def warm_traces(scale):
     """Generate (and cache) all four traces once per session so individual
-    benchmarks time the experiment, not the trace generation."""
+    benchmarks time the experiment, not the trace generation.  The traces
+    also land in the engine's on-disk store, so later sessions skip
+    generation entirely."""
     for name in APP_NAMES:
         paper_trace(name, scale)
 

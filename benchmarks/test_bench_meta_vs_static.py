@@ -10,6 +10,8 @@ partitioner should be far smaller than any fixed static choice's.
 
 from __future__ import annotations
 
+import os
+
 from repro.experiments import (
     APP_NAMES,
     machine_scenarios,
@@ -19,11 +21,14 @@ from repro.experiments import (
 
 from conftest import BENCH_NPROCS
 
+#: Worker processes for the engine-sharded grid (84 replays at full scale).
+N_JOBS = int(os.environ.get("REPRO_BENCH_JOBS", "2"))
+
 
 def test_meta_vs_static(benchmark, scale):
     table = benchmark.pedantic(
         meta_vs_static,
-        kwargs={"scale": scale, "nprocs": BENCH_NPROCS},
+        kwargs={"scale": scale, "nprocs": BENCH_NPROCS, "n_jobs": N_JOBS},
         rounds=1,
         iterations=1,
     )

@@ -3,58 +3,74 @@
 The conceptual Figure 2 of the paper, realized: at every regrid the state
 sampler classifies the application + system state into the continuous
 classification space, and the meta-partitioner selects and configures the
-partitioner.  The demo replays the SC2D (Scalarwave) trace — whose
-hierarchy oscillates between a flat base grid and a deep 5-level stack —
-on two different machines, and compares the modeled execution time against
-static partitioner choices and the discrete ArMADA octant baseline.
+partitioner.  The demo compares the modeled execution time of the SC2D
+(Scalarwave) workload — whose hierarchy oscillates between a flat base
+grid and a deep stack — under static partitioners, the discrete ArMADA
+octant baseline and the continuous meta-partitioner, on two different
+machine scenarios.
+
+The whole machines x schedules grid is one sharded engine sweep: every
+replay is content-addressed, so re-running the demo (or a CLI sweep that
+overlaps it, e.g. `python -m repro sweep --machines net-starved,cluster-2003
+--partitioners all --scale small`) fetches the rows from the store.  The
+classification trajectory at the end replays the meta-schedule in-process
+to show the curve it followed.
 
 Run:  python examples/meta_partitioner_demo.py
 """
 
-from repro.apps import ScalarWave2D, TraceGenConfig, generate_trace
-from repro.meta import ArmadaClassifier, MetaScheduler
+from repro.engine import make_machine, run_specs, sim_spec
+from repro.experiments import paper_trace
+from repro.meta import MetaScheduler
 from repro.model import StateSampler
-from repro.partition import DomainSfcPartitioner, NaturePlusFable
-from repro.simulator import MachineModel, TraceSimulator
+from repro.simulator import TraceSimulator
 
+APP = "sc2d"
+SCALE = "small"
 NPROCS = 8
+N_JOBS = 2
 
-config = TraceGenConfig(
-    base_shape=(32, 32), max_levels=4, nsteps=60, regrid_interval=4
-)
-trace = generate_trace(ScalarWave2D(shape=(128, 128)), config)
-print(f"trace '{trace.name}': {len(trace)} snapshots")
+SCHEDULES = [
+    ("nature+fable", "static"),
+    ("domain-sfc-hilbert", "static"),
+    ("armada-octant", "dynamic"),
+    ("meta-partitioner", "dynamic"),
+]
+MACHINES = ["net-starved", "cluster-2003"]
 
-machines = {
-    "net-starved cluster": MachineModel(bandwidth_bytes_per_s=5.0e7),
-    "balanced 2003 cluster": MachineModel(),
-}
+def main() -> None:
+    specs = [
+        sim_spec(APP, SCALE, nprocs=NPROCS, partitioner=name, machine=machine)
+        for machine in MACHINES
+        for name, _ in SCHEDULES
+    ]
+    results = iter(run_specs(specs, n_jobs=N_JOBS, progress=print))
 
-for label, machine in machines.items():
-    sim = TraceSimulator(machine=machine)
-    print(f"\n=== {label} (comm/compute ratio "
-          f"{machine.comm_compute_ratio():.1f}) ===")
+    trace = paper_trace(APP, SCALE)
+    print(f"\ntrace '{trace.name}': {len(trace)} snapshots")
 
-    # Static choices.
-    for part in (NaturePlusFable(), DomainSfcPartitioner(curve="hilbert")):
-        total = sim.run(trace, part, NPROCS).total_execution_seconds
-        print(f"static {part.describe()['name']:<14} {total:8.3f} s")
+    for machine_name in MACHINES:
+        machine = make_machine(machine_name)
+        print(f"\n=== {machine_name} (comm/compute ratio "
+              f"{machine.comm_compute_ratio():.1f}) ===")
+        for name, kind in SCHEDULES:
+            total = next(results).meta["total_execution_seconds"]
+            print(f"{kind:<8} {name:<18} {total:8.3f} s")
 
-    # Discrete octant baseline (ArMADA, section 3).
-    armada = ArmadaClassifier()
-    total = sim.run_scheduled(trace, armada, NPROCS).total_execution_seconds
-    print(f"dynamic armada-octant  {total:8.3f} s "
-          f"(octants visited: {sorted(set(armada.history))})")
-
-    # Continuous meta-partitioner.
+    # Show the classification curve the meta-partitioner followed on the
+    # balanced cluster (in-process: the schedule's history is the point).
+    machine = make_machine("cluster-2003")
     meta = MetaScheduler(sampler=StateSampler(machine=machine, nprocs=NPROCS))
-    total = sim.run_scheduled(trace, meta, NPROCS).total_execution_seconds
-    print(f"dynamic meta           {total:8.3f} s")
-
-    # Show the classification curve the meta-partitioner followed.
-    print("classification trajectory (first 8 regrids):")
+    TraceSimulator(machine=machine).run_scheduled(trace, meta, NPROCS)
+    print("\nclassification trajectory (first 8 regrids, cluster-2003):")
     for i, point in enumerate(meta.history[:8]):
         print(
             f"  regrid {i}: dim1={point.dim1:.2f} dim2={point.dim2:.2f} "
             f"dim3={point.dim3:.2f} -> octant {point.octant()}"
         )
+
+
+# The guard matters: worker processes re-import this script on
+# spawn-start platforms (macOS/Windows).
+if __name__ == "__main__":
+    main()

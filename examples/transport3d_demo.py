@@ -1,46 +1,51 @@
-"""TP3D walkthrough: a 3-D trace through the dimension-general stack.
+"""3-D suite walkthrough: tp3d and bl3d through the dimension-general stack.
 
-Generates a small deterministic 3-D transport trace, replays it under the
-domain-SFC partitioner, Nature+Fable and the ArMADA octant schedule, and
-prints the per-step simulator metrics side by side — the 3-D counterpart
-of the 2-D walkthroughs.
+Generates the small deterministic 3-D traces — the meandering-vortex
+transport benchmark (tp3d, seemingly random) and the corner-to-corner
+Buckley--Leverett displacement (bl3d, oscillatory) — and replays each
+under the domain-SFC partitioner, Nature+Fable and the ArMADA octant
+schedule.  The 2 apps x 3 schedules grid is submitted to the experiment
+engine as one sharded sweep (each worker owns one workload's trace), so
+re-running the demo fetches every row from the content-addressed store.
 
 Run:  python examples/transport3d_demo.py
 """
 
-from repro.experiments import paper_trace
-from repro.meta.armada import ArmadaClassifier
-from repro.partition import DomainSfcPartitioner, NaturePlusFable
-from repro.simulator import TraceSimulator
+from repro.engine import run_specs, sim_spec
+from repro.experiments import APP_NAMES_3D, paper_trace
 
 NPROCS = 8
+PARTITIONERS = ("domain-sfc-hilbert", "nature+fable", "armada-octant")
 
 
 def main() -> None:
-    trace = paper_trace("tp3d", scale="small")
-    print(f"trace: {trace.name}, {len(trace)} snapshots")
-    for snap in trace:
-        h = snap.hierarchy
-        sizes = ", ".join(f"l{lev.index}:{lev.ncells}" for lev in h)
-        print(f"  step {snap.step:3d}  ndim={h.ndim}  [{sizes}]")
+    for name in APP_NAMES_3D:
+        trace = paper_trace(name, scale="small")
+        print(f"trace: {trace.name}, {len(trace)} snapshots")
+        for snap in trace:
+            h = snap.hierarchy
+            sizes = ", ".join(f"l{lev.index}:{lev.ncells}" for lev in h)
+            print(f"  step {snap.step:3d}  ndim={h.ndim}  [{sizes}]")
 
-    sim = TraceSimulator()
-    runs = {
-        "domain-sfc (hilbert)": sim.run(
-            trace, DomainSfcPartitioner(curve="hilbert"), NPROCS
-        ),
-        "nature+fable": sim.run(trace, NaturePlusFable(), NPROCS),
-        "armada schedule": sim.run_scheduled(trace, ArmadaClassifier(), NPROCS),
-    }
+    specs = [
+        sim_spec(name, "small", nprocs=NPROCS, partitioner=part)
+        for name in APP_NAMES_3D
+        for part in PARTITIONERS
+    ]
+    results = run_specs(specs, n_jobs=2, progress=print)
 
     print(f"\nreplay on {NPROCS} ranks:")
-    header = f"{'partitioner':<22s} {'imbalance':>9s} {'rel comm':>9s} {'rel mig':>9s} {'seconds':>9s}"
+    header = (
+        f"{'app':<6s} {'partitioner':<20s} {'imbalance':>9s} "
+        f"{'rel comm':>9s} {'rel mig':>9s} {'seconds':>9s}"
+    )
     print(header)
     print("-" * len(header))
-    for name, result in runs.items():
-        s = result.summary()
+    for spec, result in zip(specs, results):
+        s = result.meta["summary"]
         print(
-            f"{name:<22s} {s['mean_imbalance']:9.3f} "
+            f"{spec.app:<6s} {spec.partitioner:<20s} "
+            f"{s['mean_imbalance']:9.3f} "
             f"{s['mean_relative_comm']:9.3f} "
             f"{s['mean_relative_migration']:9.3f} "
             f"{s['total_seconds']:9.4f}"

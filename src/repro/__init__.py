@@ -17,6 +17,8 @@ Subpackage map (see DESIGN.md for the full system inventory):
 ``repro.model``      the penalties and the classification space (core)
 ``repro.meta``       the meta-partitioner and the ArMADA octant baseline
 ``repro.experiments`` regeneration of every figure of the evaluation
+``repro.engine``     sharded experiment execution over a content-addressed
+                     result store, and the ``python -m repro`` CLI
 ==================  =====================================================
 """
 

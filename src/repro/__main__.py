@@ -1,0 +1,6 @@
+"""``python -m repro`` — the experiment-engine command line."""
+
+from .engine.cli import main
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -8,15 +8,17 @@ Trace name    Kernel                                      Behaviour
 ``sc2d``      Scalarwave numerical relativity (Cactus)    oscillatory
 ``rm2d``      Richtmyer--Meshkov instability (VTF)        seemingly random
 ``tp3d``      3-D transport benchmark (this repo)         seemingly random
+``bl3d``      3-D Buckley--Leverett oil-water flow        oscillatory
 ============  ==========================================  ==================
 
 The first four are the paper's single-processor traces (section 5.1.1);
-``tp3d`` extends the suite to the 3-D hierarchies production SAMR codes
-actually run.
+``tp3d`` and ``bl3d`` extend the suite to the 3-D hierarchies production
+SAMR codes actually run — one seemingly random, one oscillatory.
 """
 
 from .base import ShadowApplication, TraceGenConfig, build_hierarchy, generate_trace
 from .bl2d import BuckleyLeverett2D, fractional_flow
+from .bl3d import BuckleyLeverett3D
 from .rm2d import RichtmyerMeshkov2D
 from .sc2d import ScalarWave2D
 from .tp2d import Transport2D
@@ -28,6 +30,7 @@ __all__ = [
     "build_hierarchy",
     "generate_trace",
     "BuckleyLeverett2D",
+    "BuckleyLeverett3D",
     "fractional_flow",
     "RichtmyerMeshkov2D",
     "ScalarWave2D",
@@ -44,6 +47,7 @@ APPLICATIONS = {
     "sc2d": ScalarWave2D,
     "rm2d": RichtmyerMeshkov2D,
     "tp3d": Transport3D,
+    "bl3d": BuckleyLeverett3D,
 }
 
 

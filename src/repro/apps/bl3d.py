@@ -1,0 +1,164 @@
+"""BL3D: the 3-D Buckley--Leverett oil-water flow kernel.
+
+The 3-D analogue of :mod:`repro.apps.bl2d`, mirroring how IPARS-class
+reservoir codes actually run: the two-phase fractional-flow saturation
+equation
+
+    ds/dt + div( f(s) v ) = 0,      f(s) = s^2 / (s^2 + M (1 - s)^2)
+
+is solved on the unit cube with a corner-to-corner displacement drive —
+an injector well at the ``(0,0,0)`` corner and a producer at ``(1,1,1)``
+(the 3-D quarter-five-spot, incompressible point-source potential flow,
+so ``v`` is analytic) — through a mildly heterogeneous permeability
+field.  The injection rate is modulated sinusoidally (water-alternating
+injection cycles), so the water front surges and stalls periodically and
+the refined shell around it grows and shrinks with the same period:
+BL3D gives the 3-D suite an *oscillatory* trace to contrast with TP3D's
+seemingly random one, exactly as BL2D does in the paper's 2-D suite.
+
+Discretization: first-order upwind finite volumes with a CFL-limited
+inner sub-cycle per coarse step, dimension-by-dimension flux splitting.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .base import ShadowApplication
+from .bl2d import fractional_flow
+
+__all__ = ["BuckleyLeverett3D"]
+
+
+class BuckleyLeverett3D(ShadowApplication):
+    """Corner-to-corner Buckley--Leverett displacement with cyclic injection.
+
+    Parameters
+    ----------
+    shape :
+        Shadow-grid resolution (three extents; the domain is the unit
+        cube).
+    dt :
+        Coarse-step time increment.
+    mobility_ratio :
+        Oil/water mobility ratio ``M``.
+    injection_period :
+        Period (physical time) of the injection-rate modulation — sets
+        the oscillation period seen in the trace.
+    seed :
+        Seed for the permeability-noise field (mild heterogeneity).
+    """
+
+    name = "bl3d"
+    ndim = 3
+
+    def __init__(
+        self,
+        shape: tuple[int, int, int] = (48, 48, 48),
+        dt: float = 0.012,
+        mobility_ratio: float = 2.0,
+        injection_period: float = 0.5,
+        seed: int = 1942,
+    ) -> None:
+        if len(shape) != 3:
+            raise ValueError("BuckleyLeverett3D needs a 3-d shadow grid")
+        if min(shape) < 8:
+            raise ValueError("shadow grid too small")
+        if injection_period <= 0:
+            raise ValueError("injection_period must be positive")
+        self._shape = tuple(int(s) for s in shape)
+        self._dt = float(dt)
+        self._M = float(mobility_ratio)
+        self._period = float(injection_period)
+        self._time = 0.0
+        axes = [
+            (np.arange(n) + 0.5) / n for n in self._shape
+        ]
+        X, Y, Z = np.meshgrid(*axes, indexing="ij")
+        # 3-D quarter-five-spot potential flow: point source at the origin
+        # corner, point sink at the far corner (3-D kernel ~ 1/r^3).
+        eps = 0.75 / min(self._shape)
+        r3s = (X**2 + Y**2 + Z**2 + eps**2) ** 1.5
+        r3k = (
+            (X - 1.0) ** 2 + (Y - 1.0) ** 2 + (Z - 1.0) ** 2 + eps**2
+        ) ** 1.5
+        v = [
+            X / r3s - (X - 1.0) / r3k,
+            Y / r3s - (Y - 1.0) / r3k,
+            Z / r3s - (Z - 1.0) / r3k,
+        ]
+        # Mild permeability heterogeneity perturbs the front shape.
+        rng = np.random.default_rng(seed)
+        noise = rng.normal(0.0, 1.0, self._shape)
+        for _ in range(4):  # cheap smoothing
+            noise = sum(
+                np.roll(noise, shift, axis)
+                for axis in range(3)
+                for shift in (1, -1)
+            ) / 6.0
+        perm = np.exp(0.35 * noise / max(noise.std(), 1e-12))
+        self._v = [vi * perm for vi in v]
+        speed = sum(np.abs(vi).max() for vi in self._v)
+        self._scale = 0.35 / speed  # normalize so fronts move O(cells)/step
+        # Initial water bank near the injector.
+        self._s = np.where(X + Y + Z < 0.25, 1.0, 0.0)
+
+    # -- ShadowApplication interface ----------------------------------------
+    @property
+    def shape(self) -> tuple[int, int, int]:
+        return self._shape
+
+    @property
+    def time(self) -> float:
+        return self._time
+
+    def indicator_field(self) -> np.ndarray:
+        return self._s
+
+    def injection_rate(self, t: float) -> float:
+        """Cyclic injection multiplier in ``[0.15, 1.0]``."""
+        return 0.575 + 0.425 * np.sin(2 * np.pi * t / self._period)
+
+    def advance(self) -> None:
+        """One coarse step: CFL-limited upwind sub-cycling."""
+        remaining = self._dt
+        while remaining > 1e-14:
+            rate = self.injection_rate(self._time)
+            v = [vi * (self._scale * rate) for vi in self._v]
+            vmax = max(
+                max(
+                    np.abs(vi).max() * n
+                    for vi, n in zip(v, self._shape)
+                ),
+                1e-12,
+            )
+            sub = min(remaining, 0.4 / vmax)
+            self._upwind_step(v, sub)
+            self._time += sub
+            remaining -= sub
+
+    # -- internals -----------------------------------------------------------
+    def _upwind_step(self, v: list[np.ndarray], dt: float) -> None:
+        """First-order Godunov/upwind update of the saturation field."""
+        s = self._s
+        f = fractional_flow(s, self._M)
+        div = np.zeros_like(s)
+        for axis, (va, n) in enumerate(zip(v, self._shape)):
+            # Face velocities between cells i-1 and i along this axis.
+            v_face = 0.5 * (va + np.roll(va, 1, axis=axis))
+            f_up = np.where(v_face > 0, np.roll(f, 1, axis=axis), f)
+            F = v_face * f_up
+            first = [slice(None)] * 3
+            first[axis] = 0
+            F[tuple(first)] = 0.0  # closed inflow boundary (injection = source)
+            contrib = (np.roll(F, -1, axis=axis) - F) * n
+            # Outflow at the far face: zero the wrapped flux contribution.
+            last = [slice(None)] * 3
+            last[axis] = -1
+            contrib[tuple(last)] = (0.0 - F[tuple(last)]) * n
+            div += contrib
+        s_new = s - dt * div
+        # Injector keeps the corner saturated.
+        well = tuple(slice(0, max(2, n // 32)) for n in self._shape)
+        s_new[well] = 1.0
+        self._s = np.clip(s_new, 0.0, 1.0)

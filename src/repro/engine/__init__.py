@@ -1,0 +1,68 @@
+"""The experiment engine: sharded runs over a content-addressed store.
+
+The paper's evaluation is a sweep — applications x partitioners x
+machines, re-run per figure and ablation — and the 3-D workloads made it
+strictly bigger.  This subsystem turns every such computation into a
+declarative job:
+
+* :mod:`repro.engine.spec` — the :class:`RunSpec`/:class:`RunResult` job
+  model with a stable content hash;
+* :mod:`repro.engine.store` — the content-addressed artifact store
+  (``REPRO_CACHE_DIR``, default ``~/.cache/repro``): traces and simulator
+  runs are computed once and reused across figures, benchmarks and CLI
+  invocations;
+* :mod:`repro.engine.executor` — the sharded, resumable executor
+  (process pool with trace-aware chunking; serial fallback);
+* :mod:`repro.engine.registry` — partitioner/schedule/machine name
+  registries shared with the experiment layer;
+* :mod:`repro.engine.cli` — the ``python -m repro`` command line
+  (``run`` / ``sweep`` / ``report`` / ``cache``).
+
+Import discipline: :mod:`repro.experiments` imports this package at
+module scope, so engine modules only import the experiment layer lazily
+inside functions.
+"""
+
+from .executor import execute, plan_specs, run_spec, run_specs, shard_specs
+from .registry import (
+    MACHINE_NAMES,
+    PARTITIONER_NAMES,
+    SCHEDULE_NAMES,
+    STATIC_SUITE,
+    make_machine,
+    make_partitioner,
+    make_schedule,
+)
+from .spec import (
+    ENGINE_SCHEMA_VERSION,
+    RunResult,
+    RunSpec,
+    penalties_spec,
+    sim_spec,
+    trace_spec,
+)
+from .store import DEFAULT_CACHE_DIR, ResultStore, default_store
+
+__all__ = [
+    "ENGINE_SCHEMA_VERSION",
+    "RunSpec",
+    "RunResult",
+    "trace_spec",
+    "sim_spec",
+    "penalties_spec",
+    "ResultStore",
+    "default_store",
+    "DEFAULT_CACHE_DIR",
+    "execute",
+    "run_spec",
+    "run_specs",
+    "plan_specs",
+    "shard_specs",
+    "MACHINE_NAMES",
+    "PARTITIONER_NAMES",
+    "SCHEDULE_NAMES",
+    "STATIC_SUITE",
+    "make_machine",
+    "make_partitioner",
+    "make_schedule",
+]

@@ -1,0 +1,379 @@
+"""The ``python -m repro`` command line: drive the experiment engine.
+
+Subcommands
+-----------
+``repro run``
+    Execute (or fetch) a single job and print its summary or series.
+``repro sweep``
+    Fan a grid of jobs — apps x partitioners x machines — across worker
+    processes.  Already-stored results are skipped, so re-running a
+    killed sweep resumes where it left off.
+``repro report``
+    Regenerate the paper's figures through the engine and render them as
+    ASCII charts (``repro.experiments.report``).
+``repro cache ls | clear``
+    Inspect / empty the content-addressed store.
+
+The store location is ``$REPRO_CACHE_DIR`` (default ``~/.cache/repro``);
+``--cache-dir`` overrides it per invocation.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import Sequence
+
+from .registry import (
+    MACHINE_NAMES,
+    PARTITIONER_NAMES,
+    SCHEDULE_NAMES,
+    STATIC_SUITE,
+)
+from .executor import plan_specs, run_spec, run_specs
+from .spec import RunSpec, penalties_spec, sim_spec, trace_spec
+from .store import ResultStore, default_store
+
+__all__ = ["main", "build_parser"]
+
+
+def _store_from(args) -> ResultStore:
+    if getattr(args, "cache_dir", None):
+        return ResultStore(args.cache_dir)
+    return default_store()
+
+
+def _split(value: str) -> list[str]:
+    return [v for v in (part.strip() for part in value.split(",")) if v]
+
+
+def _resolve_apps(value: str) -> list[str]:
+    from ..experiments.workloads import ALL_APP_NAMES, APP_NAMES, APP_NAMES_3D
+
+    aliases = {
+        "2d": list(APP_NAMES),
+        "3d": list(APP_NAMES_3D),
+        "all": list(ALL_APP_NAMES),
+    }
+    if value in aliases:
+        return aliases[value]
+    apps = _split(value)
+    for app in apps:
+        if app not in ALL_APP_NAMES:
+            raise SystemExit(
+                f"unknown app {app!r}; choose from {ALL_APP_NAMES} "
+                f"or the aliases 2d/3d/all"
+            )
+    return apps
+
+
+def _resolve_partitioners(value: str) -> list[str]:
+    aliases = {
+        "suite": list(STATIC_SUITE),
+        "all": list(STATIC_SUITE) + list(SCHEDULE_NAMES),
+    }
+    if value in aliases:
+        return aliases[value]
+    names = _split(value)
+    known = set(PARTITIONER_NAMES) | set(SCHEDULE_NAMES)
+    for name in names:
+        if name not in known:
+            raise SystemExit(
+                f"unknown partitioner {name!r}; choose from "
+                f"{PARTITIONER_NAMES + SCHEDULE_NAMES} or suite/all"
+            )
+    return names
+
+
+def _parse_params(pairs: list[str]) -> dict:
+    params = {}
+    for pair in pairs:
+        if "=" not in pair:
+            raise SystemExit(f"--param expects name=value, got {pair!r}")
+        name, raw = pair.split("=", 1)
+        try:
+            params[name] = json.loads(raw)
+        except json.JSONDecodeError:
+            params[name] = raw
+    return params
+
+
+def _sweep_specs(args) -> list[RunSpec]:
+    specs: list[RunSpec] = []
+    for app in _resolve_apps(args.apps):
+        for machine in _split(args.machines):
+            if machine not in MACHINE_NAMES:
+                raise SystemExit(
+                    f"unknown machine {machine!r}; choose from {MACHINE_NAMES}"
+                )
+            for name in _resolve_partitioners(args.partitioners):
+                if args.kind == "sim":
+                    specs.append(
+                        sim_spec(
+                            app,
+                            args.scale,
+                            nprocs=args.nprocs,
+                            partitioner=name,
+                            machine=machine,
+                        )
+                    )
+                elif args.kind == "penalties":
+                    spec = penalties_spec(
+                        app, args.scale, nprocs=args.nprocs, machine=machine
+                    )
+                    if spec not in specs:
+                        specs.append(spec)
+                else:  # trace
+                    spec = trace_spec(app, args.scale)
+                    if spec not in specs:
+                        specs.append(spec)
+    return specs
+
+
+def _print_sweep_table(results) -> None:
+    header = (
+        f"{'app':<6} {'partitioner':<22} {'machine':<13} {'P':>4} "
+        f"{'steps':>6} {'total_s':>10} {'imb%':>8} {'comm':>7} {'mig':>7}"
+    )
+    print(header)
+    print("-" * len(header))
+    for res in results:
+        spec = res.spec
+        machine = spec.machine if isinstance(spec.machine, str) else "custom"
+        if spec.kind == "sim":
+            summary = res.meta["summary"]
+            imb = 100.0 * (summary["mean_imbalance"] - 1.0)
+            print(
+                f"{spec.app:<6} {spec.partitioner:<22} {machine:<13} "
+                f"{spec.nprocs:>4} {res.arrays['step'].size:>6} "
+                f"{res.meta['total_execution_seconds']:>10.3f} "
+                f"{imb:>8.2f} {summary['mean_relative_comm']:>7.3f} "
+                f"{summary['mean_relative_migration']:>7.3f}"
+            )
+        elif spec.kind == "penalties":
+            beta_c = res.arrays["beta_c"]
+            beta_m = res.arrays["beta_m"]
+            print(
+                f"{spec.app:<6} {'(penalties)':<22} {machine:<13} "
+                f"{spec.nprocs:>4} {beta_c.size:>6} {'-':>10} {'-':>8} "
+                f"{beta_c.mean():>7.3f} {beta_m.mean():>7.3f}"
+            )
+        else:
+            stats = res.meta["stats"]
+            print(
+                f"{spec.app:<6} {'(trace)':<22} {'-':<13} {'-':>4} "
+                f"{stats['nsteps']:>6} {'-':>10} {'-':>8} {'-':>7} {'-':>7}"
+            )
+
+
+def _cmd_run(args) -> int:
+    store = _store_from(args)
+    if args.kind == "sim":
+        spec = sim_spec(
+            args.app,
+            args.scale,
+            nprocs=args.nprocs,
+            partitioner=args.partitioner,
+            params=_parse_params(args.param),
+            machine=args.machine,
+            seed=args.seed,
+        )
+    elif args.kind == "penalties":
+        spec = penalties_spec(
+            args.app, args.scale, nprocs=args.nprocs, machine=args.machine,
+            seed=args.seed,
+        )
+    else:
+        spec = trace_spec(args.app, args.scale, seed=args.seed)
+    cached = store.has(spec.key())
+    result = run_spec(spec, store=store, force=args.force)
+    if args.json:
+        print(json.dumps({"key": result.key, "meta": result.meta}, indent=1,
+                         sort_keys=True))
+        return 0
+    print(f"{spec.label()}  [{'stored' if cached and not args.force else 'computed'}]")
+    print(f"key:   {result.key}")
+    print(f"store: {store.root}")
+    for name, value in sorted(result.meta.items()):
+        if not isinstance(value, dict):
+            print(f"  {name}: {value}")
+    if args.series:
+        from ..experiments.analysis import series_stats
+
+        for name in sorted(result.arrays):
+            stats = series_stats(result.arrays[name])
+            print(
+                f"  {name:<22} mean={stats['mean']:<12.6g} "
+                f"min={stats['min']:<12.6g} max={stats['max']:<12.6g}"
+            )
+    return 0
+
+
+def _cmd_sweep(args) -> int:
+    store = _store_from(args)
+    specs = _sweep_specs(args)
+    unique, missing = plan_specs(specs, store)
+    computed = len(unique) if args.force else len(missing)
+    results = run_specs(
+        specs,
+        n_jobs=args.n_jobs,
+        store=store,
+        force=args.force,
+        progress=None if args.quiet else print,
+    )
+    _print_sweep_table(results)
+    print(
+        f"\n{len(results)} results ({computed} computed, "
+        f"{len(results) - computed} reused) — store: {store.root}"
+    )
+    return 0
+
+
+def _cmd_report(args) -> int:
+    from ..experiments.figures import FIGURE_APPS, figure1, figure_app
+    from ..experiments.report import render_figure1, render_figure_app
+
+    store = _store_from(args)
+    wanted = [int(f) for f in _split(args.figures)]
+    for fig in wanted:
+        if fig not in (1,) + tuple(FIGURE_APPS):
+            raise SystemExit(f"unknown figure {fig}; choose from 1,4,5,6,7")
+    # Warm the store for every figure in one sharded batch, then render.
+    specs: list[RunSpec] = []
+    if 1 in wanted:
+        specs.append(sim_spec("bl2d", args.scale, nprocs=args.nprocs))
+    for number, app in sorted(FIGURE_APPS.items()):
+        if number in wanted:
+            specs.append(sim_spec(app, args.scale, nprocs=args.nprocs))
+            specs.append(penalties_spec(app, args.scale, nprocs=args.nprocs))
+    run_specs(specs, n_jobs=args.n_jobs, store=store,
+              progress=None if args.quiet else print)
+    first = True
+    for number in sorted(wanted):
+        if not first:
+            print("\n" + "=" * 78 + "\n")
+        first = False
+        if number == 1:
+            print(render_figure1(
+                figure1(scale=args.scale, nprocs=args.nprocs, store=store)
+            ))
+        else:
+            fig = figure_app(
+                FIGURE_APPS[number], scale=args.scale, nprocs=args.nprocs,
+                store=store,
+            )
+            print(render_figure_app(fig, figure_number=number))
+    return 0
+
+
+def _cmd_cache(args) -> int:
+    store = _store_from(args)
+    if args.cache_cmd == "clear":
+        removed = store.clear(kind=args.kind)
+        print(f"removed {removed} entries from {store.root}")
+        return 0
+    entries = list(store.entries())
+    total = sum(doc["nbytes"] for doc in entries)
+    print(f"store: {store.root} ({len(entries)} entries, {total / 1e6:.1f} MB)")
+    if entries:
+        print(f"{'key':<14} {'kind':<10} {'job':<40} {'kB':>8}")
+        for doc in entries:
+            spec = RunSpec.from_json(doc["spec"])
+            print(
+                f"{doc['key'][:12]:<14} {doc['kind']:<10} "
+                f"{spec.label():<40} {doc['nbytes'] / 1024:>8.1f}"
+            )
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The ``python -m repro`` argument parser."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Experiment engine: sharded sweeps over a "
+        "content-addressed result store.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    def common(p, nprocs=True):
+        p.add_argument("--scale", default="paper", choices=["paper", "small"])
+        p.add_argument(
+            "--cache-dir", default=None,
+            help="store location (default: $REPRO_CACHE_DIR or ~/.cache/repro)",
+        )
+        if nprocs:
+            p.add_argument("--nprocs", type=int, default=16,
+                           help="simulated processor count")
+
+    run = sub.add_parser("run", help="run (or fetch) one job")
+    common(run)
+    run.add_argument("--app", required=True)
+    run.add_argument("--kind", default="sim",
+                     choices=["sim", "penalties", "trace"])
+    run.add_argument("--partitioner", default="nature+fable")
+    run.add_argument("--param", action="append", default=[],
+                     metavar="NAME=VALUE",
+                     help="partitioner constructor override (repeatable)")
+    run.add_argument("--machine", default="cluster-2003")
+    run.add_argument("--seed", type=int, default=None)
+    run.add_argument("--force", action="store_true",
+                     help="recompute even if stored")
+    run.add_argument("--json", action="store_true", help="print meta as JSON")
+    run.add_argument("--series", action="store_true",
+                     help="print per-series statistics")
+    run.set_defaults(func=_cmd_run)
+
+    sweep = sub.add_parser(
+        "sweep", help="run an app x partitioner x machine grid, sharded"
+    )
+    common(sweep)
+    sweep.add_argument("--apps", default="2d",
+                       help="comma list, or 2d / 3d / all (default: 2d)")
+    sweep.add_argument("--partitioners", default="suite",
+                       help="comma list, or suite / all (default: suite)")
+    sweep.add_argument("--machines", default="cluster-2003",
+                       help=f"comma list from {MACHINE_NAMES}")
+    sweep.add_argument("--kind", default="sim",
+                       choices=["sim", "penalties", "trace"])
+    sweep.add_argument("--n-jobs", type=int, default=1,
+                       help="worker processes (1 = serial, no pool)")
+    sweep.add_argument("--force", action="store_true")
+    sweep.add_argument("--quiet", action="store_true",
+                       help="suppress progress lines")
+    sweep.set_defaults(func=_cmd_sweep)
+
+    report = sub.add_parser(
+        "report", help="regenerate paper figures through the engine"
+    )
+    common(report)
+    report.add_argument("--figures", default="1,4,5,6,7",
+                        help="comma list of figure numbers (default: all)")
+    report.add_argument("--n-jobs", type=int, default=1)
+    report.add_argument("--quiet", action="store_true")
+    report.set_defaults(func=_cmd_report)
+
+    cache = sub.add_parser("cache", help="inspect or empty the result store")
+    cache.add_argument("cache_cmd", choices=["ls", "clear"])
+    cache.add_argument("--kind", default=None,
+                       choices=["trace", "sim", "penalties"],
+                       help="restrict clear to one kind")
+    cache.add_argument("--cache-dir", default=None)
+    cache.set_defaults(func=_cmd_cache)
+    return parser
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    args = build_parser().parse_args(argv)
+    try:
+        return args.func(args)
+    except ValueError as exc:
+        # Spec/registry validation (bad seed, schedule params, ...) is a
+        # usage error, not a crash.
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    except KeyboardInterrupt:  # pragma: no cover - interactive only
+        print("interrupted (finished shards remain in the store)",
+              file=sys.stderr)
+        return 130

@@ -1,0 +1,329 @@
+"""Sharded execution of :class:`RunSpec` jobs over the result store.
+
+:func:`run_specs` is the engine's workhorse: it deduplicates the
+submitted specs, skips everything the store already holds (which is what
+makes a killed sweep *resumable* — re-submitting the same sweep only
+computes the missing tail), shards the remaining work across a
+``ProcessPoolExecutor``, and returns results in deterministic submission
+order regardless of worker scheduling.
+
+Sharding is trace-aware: pending specs are grouped by their workload
+``(app, scale, seed)`` and whole groups are dealt to the least-loaded
+shard, so each worker generates/loads every trace it needs at most once
+(the per-process ``paper_trace`` memo does the rest).  Workers publish
+into the content-addressed store and return only keys; the parent then
+loads every result back from disk, so serial (``n_jobs=1``, which never
+spawns a pool) and parallel execution return bit-identical artifacts.
+"""
+
+from __future__ import annotations
+
+from concurrent.futures import ProcessPoolExecutor, as_completed
+from typing import Callable, Iterable, Sequence
+
+import numpy as np
+
+from ..simulator import TraceSimulator
+from .registry import is_schedule, make_machine, make_partitioner, make_schedule
+from .spec import RunResult, RunSpec
+from .store import ResultStore, default_store
+
+__all__ = ["execute", "run_spec", "run_specs", "plan_specs", "shard_specs"]
+
+#: StepMetrics columns stored as integer series.
+_INT_COLUMNS = (
+    "step",
+    "ncells",
+    "workload",
+    "comm_cells",
+    "interlevel_cells",
+    "migration_cells",
+)
+#: StepMetrics columns stored as float series.
+_FLOAT_COLUMNS = (
+    "time",
+    "load_imbalance",
+    "relative_comm",
+    "relative_migration",
+    "partition_seconds",
+    "compute_seconds",
+    "comm_seconds",
+    "migration_seconds",
+    "total_seconds",
+)
+
+
+def _trace_for(spec: RunSpec, store: ResultStore):
+    # Lazy: repro.experiments imports the engine at module scope; the
+    # engine may only reach back at call time.
+    from ..experiments.workloads import paper_trace
+
+    return paper_trace(spec.app, spec.scale, seed=spec.seed, store=store)
+
+
+def trace_meta(trace) -> dict:
+    """The summary document stored alongside a trace artifact."""
+    return {"trace": trace.name, "stats": trace.stats().to_json()}
+
+
+def _execute_sim(spec: RunSpec, store: ResultStore) -> RunResult:
+    trace = _trace_for(spec, store)
+    machine = make_machine(spec.machine)
+    sim = TraceSimulator(machine=machine, ghost_width=spec.ghost_width)
+    if is_schedule(spec.partitioner):
+        schedule = make_schedule(spec.partitioner, machine, spec.nprocs)
+        result = sim.run_scheduled(trace, schedule, spec.nprocs)
+    else:
+        partitioner = make_partitioner(spec.partitioner, dict(spec.params))
+        result = sim.run(trace, partitioner, spec.nprocs)
+    arrays = {
+        name: np.array(
+            [getattr(s, name) for s in result.steps], dtype=np.int64
+        )
+        for name in _INT_COLUMNS
+    }
+    arrays.update(
+        {name: result.series(name) for name in _FLOAT_COLUMNS}
+    )
+    meta = {
+        "trace": result.trace_name,
+        "partitioner": result.partitioner,
+        "nprocs": result.nprocs,
+        "total_execution_seconds": result.total_execution_seconds,
+        "summary": result.summary(),
+    }
+    return RunResult(spec=spec, key=spec.key(), meta=meta, arrays=arrays)
+
+
+def _execute_penalties(spec: RunSpec, store: ResultStore) -> RunResult:
+    from ..model import StateSampler
+
+    trace = _trace_for(spec, store)
+    sampler = StateSampler(
+        machine=make_machine(spec.machine),
+        ghost_width=spec.ghost_width,
+        migration_denominator=spec.migration_denominator,
+        nprocs=spec.nprocs,
+    )
+    samples = sampler.sample_trace(trace)
+    arrays = {
+        "step": np.array([s.step for s in samples], dtype=np.int64),
+        "beta_l": np.array([s.beta_l for s in samples]),
+        "beta_c": np.array([s.beta_c for s in samples]),
+        "beta_m": np.array([s.beta_m for s in samples]),
+        "dim1": np.array([s.point.dim1 for s in samples]),
+        "dim2": np.array([s.point.dim2 for s in samples]),
+        "dim3": np.array([s.point.dim3 for s in samples]),
+        "requested_fraction": np.array(
+            [s.tradeoff2.requested_fraction for s in samples]
+        ),
+        "requested_seconds": np.array(
+            [s.tradeoff2.requested_seconds for s in samples]
+        ),
+        "offered_seconds": np.array(
+            [s.tradeoff2.offered_seconds for s in samples]
+        ),
+        "normalized_grid_size": np.array(
+            [s.tradeoff2.normalized_grid_size for s in samples]
+        ),
+    }
+    meta = {
+        "trace": trace.name,
+        "nprocs": spec.nprocs,
+        "migration_denominator": spec.migration_denominator,
+        "nsamples": len(samples),
+    }
+    return RunResult(spec=spec, key=spec.key(), meta=meta, arrays=arrays)
+
+
+def execute(spec: RunSpec, store: ResultStore | None = None) -> RunResult:
+    """Compute one spec from scratch (no result-store lookup).
+
+    The workload trace itself still goes through the trace cache, so
+    repeated executions only pay for the simulator/model work.
+    """
+    store = store or default_store()
+    if spec.kind == "sim":
+        return _execute_sim(spec, store)
+    if spec.kind == "penalties":
+        return _execute_penalties(spec, store)
+    # kind == "trace": generating via the cache also publishes the artifact.
+    trace = _trace_for(spec, store)
+    return RunResult(
+        spec=spec, key=spec.key(), meta=trace_meta(trace), arrays={}
+    )
+
+
+def _forget_traces(specs: Sequence[RunSpec], store: ResultStore) -> None:
+    """Force-path helper: retire stored trace artifacts for regeneration.
+
+    A ``trace`` entry is republished by the trace cache itself, so
+    forcing one means deleting the artifact and the in-process memo;
+    overwriting it with the executor's array-less result would clobber
+    ``trace.json.gz``.
+    """
+    trace_specs = [s for s in specs if s.kind == "trace"]
+    if not trace_specs:
+        return
+    from ..experiments.workloads import clear_trace_cache
+
+    clear_trace_cache(store=store, memory_only=True)
+    for spec in trace_specs:
+        store.remove(spec.key())
+
+
+def run_spec(
+    spec: RunSpec,
+    store: ResultStore | None = None,
+    force: bool = False,
+) -> RunResult:
+    """Load one spec's result from the store, computing it on a miss.
+
+    ``force`` recomputes and replaces whatever the store holds.
+    """
+    store = store or default_store()
+    if not force:
+        cached = store.get_result(spec)
+        if cached is not None:
+            return cached
+    else:
+        _forget_traces([spec], store)
+    result = execute(spec, store)
+    store.put_result(result, overwrite=force and spec.kind != "trace")
+    stored = store.get_result(spec)
+    # Return the store's view so every caller sees identical bytes.
+    return stored if stored is not None else result
+
+
+def plan_specs(
+    specs: Sequence[RunSpec], store: ResultStore
+) -> tuple[list[RunSpec], list[RunSpec]]:
+    """Split submitted work into (unique specs, specs missing from store)."""
+    unique: list[RunSpec] = []
+    seen: set[str] = set()
+    for spec in specs:
+        key = spec.key()
+        if key not in seen:
+            seen.add(key)
+            unique.append(spec)
+    missing = [s for s in unique if not store.has(s.key())]
+    return unique, missing
+
+
+def shard_specs(specs: Sequence[RunSpec], n_shards: int) -> list[list[RunSpec]]:
+    """Deal specs into ``n_shards`` chunks, trace-aware but balanced.
+
+    Specs sharing ``(app, scale, seed)`` are kept together where possible
+    (one trace generation/load per worker), but a workload group larger
+    than its fair share is split so a single-app sweep still parallelizes
+    — the extra worker re-reads the trace from the store, which is far
+    cheaper than serializing the whole sweep.  Groups go to the
+    least-loaded shard; deterministic for a given input order.
+    """
+    if n_shards < 1:
+        raise ValueError("n_shards must be >= 1")
+    groups: dict[tuple, list[RunSpec]] = {}
+    for spec in specs:
+        groups.setdefault((spec.app, spec.scale, spec.seed), []).append(spec)
+    fair = -(-len(specs) // n_shards)  # ceil: a shard's fair share
+    chunks: list[list[RunSpec]] = []
+    for group in groups.values():
+        chunks.extend(
+            group[i : i + fair] for i in range(0, len(group), fair)
+        )
+    shards: list[list[RunSpec]] = [[] for _ in range(n_shards)]
+    for chunk in sorted(chunks, key=len, reverse=True):
+        min(shards, key=len).extend(chunk)
+    return [s for s in shards if s]
+
+
+def _run_shard(root: str, spec_docs: list[dict], overwrite: bool) -> list[str]:
+    """Worker entry point: compute one shard, publish into the store."""
+    store = ResultStore(root)
+    keys: list[str] = []
+    for doc in spec_docs:
+        spec = RunSpec.from_json(doc)
+        store.put_result(
+            execute(spec, store),
+            overwrite=overwrite and spec.kind != "trace",
+        )
+        keys.append(spec.key())
+    return keys
+
+
+def run_specs(
+    specs: Iterable[RunSpec],
+    n_jobs: int = 1,
+    store: ResultStore | None = None,
+    force: bool = False,
+    progress: Callable[[str], None] | None = None,
+) -> list[RunResult]:
+    """Run a batch of specs, sharded over worker processes.
+
+    Parameters
+    ----------
+    specs :
+        Jobs to run; duplicates are computed once and share the result.
+    n_jobs :
+        Worker processes.  ``1`` runs everything in-process (serial
+        fallback, no pool); results are bit-identical either way because
+        both paths publish to — and read back from — the store.
+    store :
+        Result store (default: ``REPRO_CACHE_DIR`` / ``~/.cache/repro``).
+    force :
+        Recompute even when the store already holds a result.
+    progress :
+        Optional callback receiving one human-readable line per event.
+
+    Returns
+    -------
+    list[RunResult]
+        One result per submitted spec, in submission order.
+    """
+    specs = list(specs)
+    if n_jobs < 1:
+        raise ValueError("n_jobs must be >= 1")
+    store = store or default_store()
+    unique, missing = plan_specs(specs, store)
+    if force:
+        missing = list(unique)
+        _forget_traces(missing, store)
+    say = progress or (lambda line: None)
+    say(
+        f"{len(specs)} submitted: {len(unique)} unique, "
+        f"{len(unique) - len(missing)} in store, {len(missing)} to compute"
+    )
+    if missing:
+        if n_jobs == 1 or len(missing) == 1:
+            for spec in missing:
+                store.put_result(
+                    execute(spec, store),
+                    overwrite=force and spec.kind != "trace",
+                )
+                say(f"computed {spec.label()}")
+        else:
+            shards = shard_specs(missing, n_jobs)
+            with ProcessPoolExecutor(max_workers=len(shards)) as pool:
+                futures = {
+                    pool.submit(
+                        _run_shard,
+                        str(store.root),
+                        [s.to_json() for s in shard],
+                        force,
+                    ): i
+                    for i, shard in enumerate(shards)
+                }
+                for future in as_completed(futures):
+                    done = future.result()  # propagate worker failures
+                    say(
+                        f"shard {futures[future]} finished "
+                        f"({len(done)} specs)"
+                    )
+    by_key: dict[str, RunResult] = {}
+    for spec in unique:
+        key = spec.key()
+        result = store.get_result(key)
+        if result is None:  # pragma: no cover - store corruption guard
+            result = run_spec(spec, store)
+        by_key[key] = result
+    return [by_key[spec.key()] for spec in specs]

@@ -1,0 +1,144 @@
+"""Name registries for the engine: partitioners, schedules, machines.
+
+Specs reference partitioners and machine scenarios *by name* so they stay
+plain hashable data; this module owns the mapping from those names to
+configured objects.  The experiment layer reuses the same registries
+(``static_partitioner_suite`` / ``machine_scenarios`` delegate here) so
+the CLI, the figures and the ablations all agree on what
+``"nature+fable"`` or ``"net-starved"`` means.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping
+
+from ..meta import ArmadaClassifier, MetaScheduler
+from ..model import StateSampler
+from ..partition import (
+    DomainSfcPartitioner,
+    NatureFableParams,
+    NaturePlusFable,
+    PatchBasedPartitioner,
+    Partitioner,
+    StickyRepartitioner,
+)
+from ..simulator import MachineModel
+
+__all__ = [
+    "PARTITIONER_NAMES",
+    "STATIC_SUITE",
+    "SCHEDULE_NAMES",
+    "MACHINE_NAMES",
+    "make_partitioner",
+    "make_schedule",
+    "make_machine",
+    "is_schedule",
+    "validate_partitioner",
+]
+
+
+def _nature_fable(**params) -> Partitioner:
+    return NaturePlusFable(NatureFableParams(**params) if params else None)
+
+
+def _nature_fable_balance(**params) -> Partitioner:
+    return NaturePlusFable(NatureFableParams(**params).balance_focused())
+
+
+def _domain_sfc(curve: str, **params) -> Partitioner:
+    return DomainSfcPartitioner(curve=curve, **params)
+
+
+def _sticky_sfc(**params) -> Partitioner:
+    return StickyRepartitioner(DomainSfcPartitioner(**params))
+
+
+_PARTITIONERS = {
+    "nature+fable": _nature_fable,
+    "nature+fable-balance": _nature_fable_balance,
+    "domain-sfc-hilbert": lambda **p: _domain_sfc("hilbert", **p),
+    "domain-sfc-morton": lambda **p: _domain_sfc("morton", **p),
+    "patch-lpt": lambda **p: PatchBasedPartitioner(**p),
+    "sticky-sfc": _sticky_sfc,
+}
+
+#: Every static partitioner name the engine can instantiate.
+PARTITIONER_NAMES: tuple[str, ...] = tuple(_PARTITIONERS)
+
+#: The paper's static comparison suite, in its canonical order.
+STATIC_SUITE: tuple[str, ...] = (
+    "nature+fable",
+    "nature+fable-balance",
+    "domain-sfc-hilbert",
+    "patch-lpt",
+    "sticky-sfc",
+)
+
+#: Dynamic per-step partitioner schedules (simulated via run_scheduled).
+SCHEDULE_NAMES: tuple[str, ...] = ("armada-octant", "meta-partitioner")
+
+_MACHINES = {
+    "net-starved": lambda: MachineModel(bandwidth_bytes_per_s=5.0e7),
+    "cluster-2003": MachineModel,
+    "fast-network": lambda: MachineModel().faster_network(40),
+}
+
+#: The named machine scenarios of the dynamic-PAC experiment.
+MACHINE_NAMES: tuple[str, ...] = tuple(_MACHINES)
+
+
+def is_schedule(name: str) -> bool:
+    """Whether ``name`` denotes a dynamic schedule rather than a static P."""
+    return name in SCHEDULE_NAMES
+
+
+def validate_partitioner(name: str) -> None:
+    """Raise ``ValueError`` for names neither static nor schedulable."""
+    if name not in _PARTITIONERS and name not in SCHEDULE_NAMES:
+        raise ValueError(
+            f"unknown partitioner {name!r}; choose from "
+            f"{PARTITIONER_NAMES + SCHEDULE_NAMES}"
+        )
+
+
+def make_partitioner(name: str, params: Mapping | None = None) -> Partitioner:
+    """Instantiate a static partitioner registry entry."""
+    if name in SCHEDULE_NAMES:
+        raise ValueError(
+            f"{name!r} is a dynamic schedule; build it with make_schedule()"
+        )
+    try:
+        factory = _PARTITIONERS[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown partitioner {name!r}; choose from {PARTITIONER_NAMES}"
+        ) from None
+    return factory(**dict(params or {}))
+
+
+def make_schedule(name: str, machine: MachineModel, nprocs: int):
+    """Instantiate a dynamic schedule for one (machine, nprocs) context."""
+    if name == "armada-octant":
+        return ArmadaClassifier()
+    if name == "meta-partitioner":
+        return MetaScheduler(
+            sampler=StateSampler(machine=machine, nprocs=nprocs)
+        )
+    raise ValueError(
+        f"unknown schedule {name!r}; choose from {SCHEDULE_NAMES}"
+    )
+
+
+def make_machine(machine: str | Mapping | tuple) -> MachineModel:
+    """Resolve a machine scenario name or field overrides to a model."""
+    if isinstance(machine, MachineModel):
+        return machine
+    if isinstance(machine, str):
+        try:
+            return _MACHINES[machine]()
+        except KeyError:
+            raise ValueError(
+                f"unknown machine scenario {machine!r}; "
+                f"choose from {MACHINE_NAMES}"
+            ) from None
+    return MachineModel(**dict(machine))

@@ -1,0 +1,202 @@
+"""Content-addressed on-disk store for traces and experiment results.
+
+Layout (under ``$REPRO_CACHE_DIR``, default ``~/.cache/repro``)::
+
+    <root>/objects/<key[:2]>/<key>/meta.json       spec + summary (JSON)
+                                   series.npz      per-step arrays (sim/penalties)
+                                   trace.json.gz   the trace artifact (trace)
+    <root>/tmp/                                    staging for atomic publish
+
+Every entry is keyed by the spec's content hash, so any two computations
+that describe the same work — across figures, benchmarks, CLI calls and
+worker processes — share one artifact.  Writes are atomic: an entry is
+staged in ``tmp/`` and published with a single directory rename, so a
+killed sweep never leaves a half-written entry, and concurrent writers of
+the same key are benign (first rename wins, the loser is discarded).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import shutil
+from pathlib import Path
+from typing import Iterator
+
+import numpy as np
+
+from ..trace import Trace
+from .spec import RunResult, RunSpec
+
+__all__ = ["ResultStore", "default_store", "DEFAULT_CACHE_DIR"]
+
+#: Fallback store location when ``REPRO_CACHE_DIR`` is unset.
+DEFAULT_CACHE_DIR = Path.home() / ".cache" / "repro"
+
+_META = "meta.json"
+_SERIES = "series.npz"
+_TRACE = "trace.json.gz"
+
+
+def default_store() -> "ResultStore":
+    """The store selected by ``REPRO_CACHE_DIR`` (env read per call)."""
+    root = os.environ.get("REPRO_CACHE_DIR")
+    return ResultStore(root or DEFAULT_CACHE_DIR)
+
+
+class ResultStore:
+    """A content-addressed directory of experiment artifacts."""
+
+    def __init__(self, root: str | Path | None = None) -> None:
+        self.root = Path(root) if root is not None else DEFAULT_CACHE_DIR
+        self._objects = self.root / "objects"
+        self._tmp = self.root / "tmp"
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"ResultStore({str(self.root)!r})"
+
+    # -- paths -------------------------------------------------------------
+    def entry_dir(self, key: str) -> Path:
+        """Directory of the entry with content hash ``key``."""
+        if len(key) < 3 or not all(c in "0123456789abcdef" for c in key):
+            raise ValueError(f"malformed store key {key!r}")
+        return self._objects / key[:2] / key
+
+    def has(self, key: str) -> bool:
+        """Whether a published entry exists for ``key``."""
+        return (self.entry_dir(key) / _META).is_file()
+
+    # -- publishing --------------------------------------------------------
+    def _publish(self, key: str, stage: Path, overwrite: bool = False) -> None:
+        final = self.entry_dir(key)
+        final.parent.mkdir(parents=True, exist_ok=True)
+        if overwrite and final.exists():
+            # Retire the old entry out of the way first so the rename
+            # below lands on a free path (a reader mid-load keeps the
+            # moved-aside files alive via its open handles).
+            retired = self._tmp / f"{key}.{os.getpid()}.old"
+            shutil.rmtree(retired, ignore_errors=True)
+            os.replace(final, retired)
+            shutil.rmtree(retired, ignore_errors=True)
+        try:
+            os.replace(stage, final)
+        except OSError:
+            if not (final / _META).is_file():
+                # Not the lost-a-race case: surface real I/O failures
+                # (disk full, permissions, clobbered tmp dir).
+                raise
+            # A concurrent writer published the same key first; their
+            # artifact is byte-equivalent by construction.
+            shutil.rmtree(stage, ignore_errors=True)
+
+    def _stage(self, key: str) -> Path:
+        self._tmp.mkdir(parents=True, exist_ok=True)
+        stage = self._tmp / f"{key}.{os.getpid()}"
+        if stage.exists():  # stale leftover from a killed run
+            shutil.rmtree(stage)
+        stage.mkdir()
+        return stage
+
+    def put_result(self, result: RunResult, overwrite: bool = False) -> None:
+        """Publish a computed result (no-op if the key already exists,
+        unless ``overwrite`` replaces the stored entry)."""
+        if self.has(result.key) and not overwrite:
+            return
+        stage = self._stage(result.key)
+        meta = {
+            "key": result.key,
+            "kind": result.spec.kind,
+            "spec": result.spec.to_json(),
+            "meta": result.meta,
+        }
+        (stage / _META).write_text(
+            json.dumps(meta, sort_keys=True, indent=1), encoding="utf-8"
+        )
+        if result.arrays:
+            with open(stage / _SERIES, "wb") as fh:
+                np.savez(fh, **result.arrays)
+        self._publish(result.key, stage, overwrite=overwrite)
+
+    def put_trace(self, spec: RunSpec, trace: Trace, meta: dict) -> None:
+        """Publish a generated trace artifact under its spec key."""
+        key = spec.key()
+        if self.has(key):
+            return
+        stage = self._stage(key)
+        doc = {"key": key, "kind": "trace", "spec": spec.to_json(), "meta": meta}
+        (stage / _META).write_text(
+            json.dumps(doc, sort_keys=True, indent=1), encoding="utf-8"
+        )
+        trace.save(stage / _TRACE)
+        self._publish(key, stage)
+
+    # -- retrieval ---------------------------------------------------------
+    def load_meta(self, key: str) -> dict | None:
+        """The ``meta.json`` document of an entry, or ``None``."""
+        path = self.entry_dir(key) / _META
+        try:
+            return json.loads(path.read_text(encoding="utf-8"))
+        except (FileNotFoundError, json.JSONDecodeError):
+            return None
+
+    def get_result(self, spec_or_key: RunSpec | str) -> RunResult | None:
+        """Load a stored :class:`RunResult`, or ``None`` on a miss."""
+        key = (
+            spec_or_key if isinstance(spec_or_key, str) else spec_or_key.key()
+        )
+        doc = self.load_meta(key)
+        if doc is None:
+            return None
+        spec = RunSpec.from_json(doc["spec"])
+        arrays: dict[str, np.ndarray] = {}
+        series = self.entry_dir(key) / _SERIES
+        if series.is_file():
+            with np.load(series) as npz:
+                arrays = {name: npz[name] for name in npz.files}
+        return RunResult(spec=spec, key=key, meta=doc["meta"], arrays=arrays)
+
+    def get_trace(self, spec_or_key: RunSpec | str) -> Trace | None:
+        """Load a stored trace artifact, or ``None`` on a miss."""
+        key = (
+            spec_or_key if isinstance(spec_or_key, str) else spec_or_key.key()
+        )
+        path = self.entry_dir(key) / _TRACE
+        if not path.is_file():
+            return None
+        return Trace.load(path)
+
+    def remove(self, key: str) -> bool:
+        """Delete one entry; returns whether anything was removed."""
+        entry = self.entry_dir(key)
+        if not entry.exists():
+            return False
+        shutil.rmtree(entry, ignore_errors=True)
+        return True
+
+    # -- maintenance -------------------------------------------------------
+    def entries(self) -> Iterator[dict]:
+        """All published ``meta.json`` documents (stable key order)."""
+        if not self._objects.is_dir():
+            return
+        for shard in sorted(self._objects.iterdir()):
+            if not shard.is_dir():
+                continue
+            for entry in sorted(shard.iterdir()):
+                doc = self.load_meta(entry.name)
+                if doc is not None:
+                    doc["nbytes"] = sum(
+                        f.stat().st_size for f in entry.iterdir() if f.is_file()
+                    )
+                    doc["mtime"] = (entry / _META).stat().st_mtime
+                    yield doc
+
+    def clear(self, kind: str | None = None) -> int:
+        """Remove entries (all, or one ``kind``); returns the count removed."""
+        removed = 0
+        for doc in list(self.entries()):
+            if kind is not None and doc.get("kind") != kind:
+                continue
+            shutil.rmtree(self.entry_dir(doc["key"]), ignore_errors=True)
+            removed += 1
+        shutil.rmtree(self._tmp, ignore_errors=True)
+        return removed

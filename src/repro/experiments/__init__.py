@@ -14,6 +14,7 @@ from .analysis import (
     dominant_period,
     envelope_fraction,
     pearson,
+    series_stats,
 )
 from .figures import (
     FIGURE_APPS,
@@ -28,8 +29,10 @@ from .workloads import (
     APP_NAMES,
     APP_NAMES_3D,
     all_paper_traces,
+    clear_trace_cache,
     paper_config,
     paper_trace,
+    shadow_shape,
     workload_ndim,
 )
 
@@ -45,6 +48,7 @@ __all__ = [
     "dominant_period",
     "envelope_fraction",
     "pearson",
+    "series_stats",
     "FIGURE_APPS",
     "dimension2_series",
     "figure1",
@@ -58,7 +62,9 @@ __all__ = [
     "APP_NAMES",
     "APP_NAMES_3D",
     "all_paper_traces",
+    "clear_trace_cache",
     "paper_config",
     "paper_trace",
+    "shadow_shape",
     "workload_ndim",
 ]

@@ -11,24 +11,30 @@
   continuous meta-partitioner and the octant baseline.
 * :func:`ablation_surface` — the patch-hull vs. region-surface choice
   inside the ``beta_C`` reconstruction.
+
+Every simulator replay and penalty sweep is submitted through
+:mod:`repro.engine`, so ablations share stored results with the figures
+and benchmarks (the Nature+Fable replay of Figure 5 *is* the
+``cluster-2003`` baseline row of :func:`meta_vs_static`), and
+``meta_vs_static`` — the paper-scale 4 apps x 3 machines x 7 schedules
+grid — can shard its 84 replays across worker processes via ``n_jobs``.
 """
 
 from __future__ import annotations
 
 import numpy as np
 
-from ..meta import ArmadaClassifier, MetaScheduler
-from ..model import StateSampler, communication_penalty
-from ..partition import (
-    DomainSfcPartitioner,
-    NatureFableParams,
-    NaturePlusFable,
-    PatchBasedPartitioner,
-    StickyRepartitioner,
+from ..engine import penalties_spec, run_spec, run_specs, sim_spec
+from ..engine.registry import (
+    MACHINE_NAMES,
+    STATIC_SUITE,
+    make_machine,
+    make_partitioner,
 )
-from ..simulator import MachineModel, TraceSimulator
+from ..model import communication_penalty
+from ..simulator import MachineModel
 from .analysis import pearson
-from .figures import DEFAULT_NPROCS, _static_partitioner
+from .figures import DEFAULT_NPROCS
 from .workloads import APP_NAMES, paper_trace
 
 __all__ = [
@@ -40,38 +46,42 @@ __all__ = [
     "static_partitioner_suite",
 ]
 
+#: Dynamic schedules included in the meta-vs-static comparison.
+_DYNAMIC = ("armada-octant", "meta-partitioner")
+
 
 def ablation_denominator(
-    nprocs: int = DEFAULT_NPROCS, scale: str = "paper"
+    nprocs: int = DEFAULT_NPROCS, scale: str = "paper", store=None
 ) -> dict[str, dict[str, float]]:
     """Correlation of each ``beta_m`` denominator variant with reality."""
     out: dict[str, dict[str, float]] = {}
-    sim = TraceSimulator()
     for name in APP_NAMES:
-        trace = paper_trace(name, scale)
-        actual = sim.run(trace, _static_partitioner(), nprocs).series(
-            "relative_migration"
-        )[1:]
+        actual = run_spec(
+            sim_spec(name, scale, nprocs=nprocs), store=store
+        ).arrays["relative_migration"][1:]
         row: dict[str, float] = {}
         for denom in ("current", "previous", "max"):
-            sampler = StateSampler(migration_denominator=denom, nprocs=nprocs)
-            beta_m = sampler.penalty_series(trace).beta_m[1:]
-            row[denom] = pearson(beta_m, actual)
+            model = run_spec(
+                penalties_spec(
+                    name, scale, nprocs=nprocs, migration_denominator=denom
+                ),
+                store=store,
+            )
+            row[denom] = pearson(model.arrays["beta_m"][1:], actual)
         out[name] = row
     return out
 
 
 def ablation_surface(
-    nprocs: int = DEFAULT_NPROCS, scale: str = "paper"
+    nprocs: int = DEFAULT_NPROCS, scale: str = "paper", store=None
 ) -> dict[str, dict[str, float]]:
     """``beta_C`` surface convention: mean value and envelope behaviour."""
     out: dict[str, dict[str, float]] = {}
-    sim = TraceSimulator()
     for name in APP_NAMES:
-        trace = paper_trace(name, scale)
-        actual = sim.run(trace, _static_partitioner(), nprocs).series(
-            "relative_comm"
-        )
+        actual = run_spec(
+            sim_spec(name, scale, nprocs=nprocs), store=store
+        ).arrays["relative_comm"]
+        trace = paper_trace(name, scale, store=store)
         row: dict[str, float] = {"mean_actual": float(actual.mean())}
         for surface in ("patch", "region"):
             series = np.array(
@@ -90,15 +100,7 @@ def ablation_surface(
 
 def static_partitioner_suite() -> dict[str, object]:
     """The static P choices compared against the meta-partitioner."""
-    return {
-        "nature+fable": NaturePlusFable(),
-        "nature+fable-balance": NaturePlusFable(
-            NatureFableParams().balance_focused()
-        ),
-        "domain-sfc-hilbert": DomainSfcPartitioner(curve="hilbert"),
-        "patch-lpt": PatchBasedPartitioner(),
-        "sticky-sfc": StickyRepartitioner(DomainSfcPartitioner()),
-    }
+    return {name: make_partitioner(name) for name in STATIC_SUITE}
 
 
 def machine_scenarios() -> dict[str, MachineModel]:
@@ -109,17 +111,15 @@ def machine_scenarios() -> dict[str, MachineModel]:
     compute-bound one — which is exactly why a static P "seriously
     inhibits the potential for increasing scalability" (section 3).
     """
-    return {
-        "net-starved": MachineModel(bandwidth_bytes_per_s=5.0e7),
-        "cluster-2003": MachineModel(),
-        "fast-network": MachineModel().faster_network(40),
-    }
+    return {name: make_machine(name) for name in MACHINE_NAMES}
 
 
 def meta_vs_static(
     nprocs: int = DEFAULT_NPROCS,
     scale: str = "paper",
     machines: dict[str, MachineModel] | None = None,
+    n_jobs: int = 1,
+    store=None,
 ) -> dict[str, dict[str, dict[str, float]]]:
     """Modeled execution time: every static P vs. dynamic PAC schedules.
 
@@ -131,34 +131,36 @@ def meta_vs_static(
     execution times") is quantified as: the meta-partitioner's worst-case
     regret across machines is small, while every fixed static choice has a
     large worst-case regret on some machine.
+
+    The full grid is submitted to the engine in one batch: ``n_jobs``
+    shards it across worker processes, and stored replays are reused.
     """
     if machines is None:
         machines = machine_scenarios()
+    schedules = tuple(STATIC_SUITE) + _DYNAMIC
+    specs = [
+        sim_spec(
+            name, scale, nprocs=nprocs, partitioner=label, machine=machine
+        )
+        for name in APP_NAMES
+        for machine in machines.values()
+        for label in schedules
+    ]
+    results = iter(run_specs(specs, n_jobs=n_jobs, store=store))
     out: dict[str, dict[str, dict[str, float]]] = {}
     for name in APP_NAMES:
-        trace = paper_trace(name, scale)
         per_machine: dict[str, dict[str, float]] = {}
-        for mlabel, machine in machines.items():
-            sim = TraceSimulator(machine=machine)
-            row: dict[str, float] = {}
-            for label, part in static_partitioner_suite().items():
-                row[label] = sim.run(trace, part, nprocs).total_execution_seconds
-            armada = ArmadaClassifier()
-            row["armada-octant"] = sim.run_scheduled(
-                trace, armada, nprocs
-            ).total_execution_seconds
-            meta = MetaScheduler(
-                sampler=StateSampler(machine=machine, nprocs=nprocs)
-            )
-            row["meta-partitioner"] = sim.run_scheduled(
-                trace, meta, nprocs
-            ).total_execution_seconds
+        for mlabel in machines:
+            row: dict[str, float] = {
+                label: next(results).meta["total_execution_seconds"]
+                for label in schedules
+            }
             best_static = min(
-                v
-                for k, v in row.items()
-                if k not in ("armada-octant", "meta-partitioner")
+                v for k, v in row.items() if k not in _DYNAMIC
             )
-            row["meta_regret"] = (row["meta-partitioner"] - best_static) / best_static
+            row["meta_regret"] = (
+                row["meta-partitioner"] - best_static
+            ) / best_static
             per_machine[mlabel] = row
         out[name] = per_machine
     return out

@@ -24,7 +24,28 @@ __all__ = [
     "best_lag",
     "envelope_fraction",
     "amplitude_ratio",
+    "series_stats",
 ]
+
+
+def series_stats(series: np.ndarray) -> dict[str, float]:
+    """Scalar summary of one stored engine series (CLI/report tables).
+
+    Returns mean/std/min/max plus the oscillation period of
+    :func:`dominant_period` (``None`` for non-oscillatory series), so a
+    ``repro run --series`` row answers the questions the paper's visual
+    reading asks of each curve.
+    """
+    series = np.asarray(series, dtype=np.float64)
+    if series.size == 0:
+        raise ValueError("series must be non-empty")
+    return {
+        "mean": float(series.mean()),
+        "std": float(series.std()),
+        "min": float(series.min()),
+        "max": float(series.max()),
+        "period": dominant_period(series),
+    }
 
 
 def pearson(a: np.ndarray, b: np.ndarray) -> float:

@@ -13,12 +13,21 @@ One entry point per paper artifact (DESIGN.md experiment index):
 
 All functions return plain dicts of numpy arrays/floats so benchmarks and
 notebooks can consume or print them directly (no plotting dependency).
+
+Execution goes through :mod:`repro.engine`: each figure submits its
+simulator replay and model-sampling jobs to the content-addressed result
+store, so regenerating a figure reuses work done by other figures,
+ablations, benchmarks or CLI sweeps — and a warm store renders the whole
+evaluation without re-simulating anything.  Passing an explicit ``trace``
+bypasses the engine (ad-hoc traces have no canonical content hash) and
+computes inline exactly as before.
 """
 
 from __future__ import annotations
 
 import numpy as np
 
+from ..engine import penalties_spec, run_spec, sim_spec
 from ..metrics import load_imbalance_percent
 from ..model import StateSampler
 from ..partition import NaturePlusFable, Partitioner, proc_loads
@@ -31,7 +40,7 @@ from .analysis import (
     envelope_fraction,
     pearson,
 )
-from .workloads import APP_NAMES, paper_trace
+from .workloads import APP_NAMES
 
 __all__ = [
     "FIGURE_APPS",
@@ -56,14 +65,29 @@ def figure1(
     trace: Trace | None = None,
     nprocs: int = DEFAULT_NPROCS,
     scale: str = "paper",
+    store=None,
 ) -> dict:
     """Figure 1: dynamic behaviour of BL2D under a static P.
 
     Returns the per-step series the figure plots: load imbalance (in
     percent) and communication amount, against the time step.
     """
-    if trace is None:
-        trace = paper_trace("bl2d", scale)
+    if trace is not None:
+        return _figure1_inline(trace, nprocs)
+    sim = run_spec(sim_spec("bl2d", scale, nprocs=nprocs), store=store)
+    return {
+        "trace": sim.meta["trace"],
+        "nprocs": nprocs,
+        "step": sim.arrays["step"],
+        # 100 * (max/avg - 1), identical to load_imbalance_percent on the
+        # per-step loads (the simulator stores the max/avg ratio).
+        "load_imbalance_percent": 100.0 * (sim.arrays["load_imbalance"] - 1.0),
+        "relative_comm": sim.arrays["relative_comm"],
+    }
+
+
+def _figure1_inline(trace: Trace, nprocs: int) -> dict:
+    """In-process Figure 1 for an ad-hoc (non-canonical) trace."""
     sim = TraceSimulator()
     partitioner = _static_partitioner()
     steps: list[int] = []
@@ -89,11 +113,44 @@ def figure1(
     }
 
 
+def _figure_app_dict(
+    name: str,
+    nprocs: int,
+    steps: np.ndarray,
+    beta_c: np.ndarray,
+    beta_m: np.ndarray,
+    actual_comm: np.ndarray,
+    actual_mig: np.ndarray,
+) -> dict:
+    # Step 0 has no predecessor: drop it from migration statistics.
+    mig_model = beta_m[1:]
+    mig_actual = actual_mig[1:]
+    return {
+        "trace": name,
+        "nprocs": nprocs,
+        "step": steps,
+        "actual_relative_comm": actual_comm,
+        "beta_c": beta_c,
+        "actual_relative_migration": actual_mig,
+        "beta_m": beta_m,
+        "comm_correlation": pearson(beta_c, actual_comm),
+        "migration_correlation": pearson(mig_model, mig_actual),
+        "comm_envelope_fraction": envelope_fraction(beta_c, actual_comm),
+        "migration_amplitude_ratio": amplitude_ratio(mig_model, mig_actual),
+        "migration_lead": best_lag(mig_model, mig_actual),
+        "comm_period_model": dominant_period(beta_c),
+        "comm_period_actual": dominant_period(actual_comm),
+        "migration_period_model": dominant_period(mig_model),
+        "migration_period_actual": dominant_period(mig_actual),
+    }
+
+
 def figure_app(
     name: str,
     trace: Trace | None = None,
     nprocs: int = DEFAULT_NPROCS,
     scale: str = "paper",
+    store=None,
 ) -> dict:
     """Figures 4-7: model penalties vs. measured behaviour for one app.
 
@@ -104,39 +161,34 @@ def figure_app(
     """
     if name not in APP_NAMES:
         raise ValueError(f"unknown application {name!r}")
-    if trace is None:
-        trace = paper_trace(name, scale)
-    sim = TraceSimulator()
-    result = sim.run(trace, _static_partitioner(), nprocs)
-    sampler = StateSampler(nprocs=nprocs)
-    model = sampler.penalty_series(trace)
-    actual_comm = result.series("relative_comm")
-    actual_mig = result.series("relative_migration")
-    # Step 0 has no predecessor: drop it from migration statistics.
-    mig_model = model.beta_m[1:]
-    mig_actual = actual_mig[1:]
-    return {
-        "trace": trace.name,
-        "nprocs": nprocs,
-        "step": model.steps,
-        "actual_relative_comm": actual_comm,
-        "beta_c": model.beta_c,
-        "actual_relative_migration": actual_mig,
-        "beta_m": model.beta_m,
-        "comm_correlation": pearson(model.beta_c, actual_comm),
-        "migration_correlation": pearson(mig_model, mig_actual),
-        "comm_envelope_fraction": envelope_fraction(model.beta_c, actual_comm),
-        "migration_amplitude_ratio": amplitude_ratio(mig_model, mig_actual),
-        "migration_lead": best_lag(mig_model, mig_actual),
-        "comm_period_model": dominant_period(model.beta_c),
-        "comm_period_actual": dominant_period(actual_comm),
-        "migration_period_model": dominant_period(mig_model),
-        "migration_period_actual": dominant_period(mig_actual),
-    }
+    if trace is not None:
+        sim = TraceSimulator()
+        result = sim.run(trace, _static_partitioner(), nprocs)
+        model = StateSampler(nprocs=nprocs).penalty_series(trace)
+        return _figure_app_dict(
+            trace.name,
+            nprocs,
+            model.steps,
+            model.beta_c,
+            model.beta_m,
+            result.series("relative_comm"),
+            result.series("relative_migration"),
+        )
+    sim = run_spec(sim_spec(name, scale, nprocs=nprocs), store=store)
+    model = run_spec(penalties_spec(name, scale, nprocs=nprocs), store=store)
+    return _figure_app_dict(
+        sim.meta["trace"],
+        nprocs,
+        model.arrays["step"],
+        model.arrays["beta_c"],
+        model.arrays["beta_m"],
+        sim.arrays["relative_comm"],
+        sim.arrays["relative_migration"],
+    )
 
 
 def shape_report(
-    nprocs: int = DEFAULT_NPROCS, scale: str = "paper"
+    nprocs: int = DEFAULT_NPROCS, scale: str = "paper", store=None
 ) -> dict[str, dict]:
     """Quantified section 5.2 claims for the whole suite.
 
@@ -147,7 +199,7 @@ def shape_report(
     """
     out: dict[str, dict] = {}
     for name in APP_NAMES:
-        fig = figure_app(name, nprocs=nprocs, scale=scale)
+        fig = figure_app(name, nprocs=nprocs, scale=scale, store=store)
         out[name] = {
             "comm_correlation": fig["comm_correlation"],
             "migration_correlation": fig["migration_correlation"],
@@ -169,26 +221,36 @@ def dimension2_series(
     trace: Trace | None = None,
     nprocs: int = DEFAULT_NPROCS,
     scale: str = "paper",
+    store=None,
 ) -> dict:
     """The dimension-II trajectory: requested vs offered time (section 4.3)."""
-    if trace is None:
-        trace = paper_trace(name, scale)
-    sampler = StateSampler(nprocs=nprocs)
-    samples = sampler.sample_trace(trace)
+    if trace is not None:
+        sampler = StateSampler(nprocs=nprocs)
+        samples = sampler.sample_trace(trace)
+        return {
+            "trace": trace.name,
+            "step": np.array([s.step for s in samples]),
+            "requested_fraction": np.array(
+                [s.tradeoff2.requested_fraction for s in samples]
+            ),
+            "requested_seconds": np.array(
+                [s.tradeoff2.requested_seconds for s in samples]
+            ),
+            "offered_seconds": np.array(
+                [s.tradeoff2.offered_seconds for s in samples]
+            ),
+            "normalized_grid_size": np.array(
+                [s.tradeoff2.normalized_grid_size for s in samples]
+            ),
+            "dim2": np.array([s.point.dim2 for s in samples]),
+        }
+    model = run_spec(penalties_spec(name, scale, nprocs=nprocs), store=store)
     return {
-        "trace": trace.name,
-        "step": np.array([s.step for s in samples]),
-        "requested_fraction": np.array(
-            [s.tradeoff2.requested_fraction for s in samples]
-        ),
-        "requested_seconds": np.array(
-            [s.tradeoff2.requested_seconds for s in samples]
-        ),
-        "offered_seconds": np.array(
-            [s.tradeoff2.offered_seconds for s in samples]
-        ),
-        "normalized_grid_size": np.array(
-            [s.tradeoff2.normalized_grid_size for s in samples]
-        ),
-        "dim2": np.array([s.point.dim2 for s in samples]),
+        "trace": model.meta["trace"],
+        "step": model.arrays["step"],
+        "requested_fraction": model.arrays["requested_fraction"],
+        "requested_seconds": model.arrays["requested_seconds"],
+        "offered_seconds": model.arrays["offered_seconds"],
+        "normalized_grid_size": model.arrays["normalized_grid_size"],
+        "dim2": model.arrays["dim2"],
     }

@@ -1,15 +1,19 @@
-"""Canonical experiment workloads: the paper's four traces plus 3-D, cached.
+"""Canonical experiment workloads: the paper's traces plus 3-D, cached.
 
 All experiments run off the same deterministic traces (seeded kernels, see
 :mod:`repro.apps`).  Two scales are provided:
 
 * ``"paper"`` — the paper's setup: 5 levels of factor-2 refinement, 100
-  coarse steps, regrid every 4 (section 5.1.1); the 3-D workload uses a
+  coarse steps, regrid every 4 (section 5.1.1); the 3-D workloads use a
   smaller base grid and one fewer level so paper-scale rasters stay in
   the tens of megabytes;
 * ``"small"`` — a fast variant for unit tests and CI benchmarks.
 
-Traces are cached in memory per process, and optionally on disk.
+Traces are cached twice: in memory per process, and on disk in the
+engine's content-addressed store (``REPRO_CACHE_DIR``, default
+``~/.cache/repro``), keyed by the full generation config — so figures,
+ablations, benchmarks and CLI sweeps regenerate a given trace exactly
+once per machine.  :func:`clear_trace_cache` empties both layers.
 """
 
 from __future__ import annotations
@@ -27,6 +31,8 @@ __all__ = [
     "paper_config",
     "paper_trace",
     "all_paper_traces",
+    "clear_trace_cache",
+    "shadow_shape",
     "workload_ndim",
 ]
 
@@ -81,7 +87,9 @@ def paper_config(scale: str = "paper", ndim: int = 2) -> TraceGenConfig:
     raise ValueError(f"no canonical workload config for ndim={ndim}")
 
 
-def _shadow_shape(scale: str, ndim: int) -> tuple[int, ...]:
+def shadow_shape(scale: str, ndim: int) -> tuple[int, ...]:
+    """Shadow-grid resolution of the canonical workloads."""
+    _check_scale(scale)
     if ndim == 2:
         return (256, 256) if scale == "paper" else (64, 64)
     return (64, 64, 64) if scale == "paper" else (32, 32, 32)
@@ -97,13 +105,73 @@ def workload_ndim(name: str) -> int:
         ) from None
 
 
-@lru_cache(maxsize=None)
-def paper_trace(name: str, scale: str = "paper") -> Trace:
-    """The deterministic trace of one application at one scale."""
-    _check_scale(scale)
+def _generate(name: str, scale: str, seed: int | None) -> Trace:
     ndim = workload_ndim(name)
-    app = make_application(name, shape=_shadow_shape(scale, ndim))
+    kwargs = {"shape": shadow_shape(scale, ndim)}
+    if seed is not None:
+        from ..engine.spec import _accepts_seed
+
+        if not _accepts_seed(name):
+            raise ValueError(
+                f"{name!r} has no seed parameter; omit the seed override"
+            )
+        kwargs["seed"] = seed
+    app = make_application(name, **kwargs)
     return generate_trace(app, paper_config(scale, ndim))
+
+
+@lru_cache(maxsize=None)
+def _cached_trace(name: str, scale: str, seed: int | None, root: str) -> Trace:
+    # Lazy engine import: repro.engine reaches back into this module at
+    # call time, so neither side may import the other at module scope.
+    from ..engine.executor import trace_meta
+    from ..engine.spec import trace_spec
+    from ..engine.store import ResultStore
+
+    store = ResultStore(root)
+    spec = trace_spec(name, scale, seed=seed)
+    trace = store.get_trace(spec)
+    if trace is None:
+        trace = _generate(name, scale, seed)
+        store.put_trace(spec, trace, trace_meta(trace))
+    return trace
+
+
+def paper_trace(
+    name: str,
+    scale: str = "paper",
+    seed: int | None = None,
+    store=None,
+) -> Trace:
+    """The deterministic trace of one application at one scale.
+
+    Memoized in-process and content-addressed on disk; ``store`` selects
+    a specific :class:`~repro.engine.store.ResultStore` (default:
+    ``REPRO_CACHE_DIR`` / ``~/.cache/repro``).
+    """
+    _check_scale(scale)
+    workload_ndim(name)  # raises for unknown apps before touching the store
+    if store is None:
+        from ..engine.store import default_store
+
+        store = default_store()
+    return _cached_trace(name, scale, seed, str(store.root))
+
+
+def clear_trace_cache(store=None, *, memory_only: bool = False) -> int:
+    """Drop cached traces; returns the number of disk entries removed.
+
+    Clears the in-process memo always, and the on-disk trace entries of
+    ``store`` (default store when omitted) unless ``memory_only`` is set.
+    """
+    _cached_trace.cache_clear()
+    if memory_only:
+        return 0
+    if store is None:
+        from ..engine.store import default_store
+
+        store = default_store()
+    return store.clear(kind="trace")
 
 
 def all_paper_traces(scale: str = "paper", ndim: int = 2) -> dict[str, Trace]:

@@ -2,6 +2,8 @@
 
 from __future__ import annotations
 
+import os
+
 import numpy as np
 import pytest
 
@@ -15,6 +17,23 @@ from repro.trace import Trace
 SMALL_CONFIG = TraceGenConfig(
     base_shape=(16, 16), max_levels=3, nsteps=12, regrid_interval=4
 )
+
+
+@pytest.fixture(scope="session", autouse=True)
+def isolated_result_store(tmp_path_factory):
+    """Point the engine's content-addressed store at a throwaway directory.
+
+    Keeps the tier-1 suite hermetic: tests neither read a developer's
+    warm ``~/.cache/repro`` nor leave artifacts behind.
+    """
+    root = tmp_path_factory.mktemp("repro-store")
+    previous = os.environ.get("REPRO_CACHE_DIR")
+    os.environ["REPRO_CACHE_DIR"] = str(root)
+    yield root
+    if previous is None:
+        os.environ.pop("REPRO_CACHE_DIR", None)
+    else:
+        os.environ["REPRO_CACHE_DIR"] = previous
 
 
 @pytest.fixture(scope="session")

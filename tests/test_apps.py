@@ -35,7 +35,9 @@ def app_shape(name: str, side: int) -> tuple[int, ...]:
 
 class TestRegistry:
     def test_kernels(self):
-        assert set(APPLICATIONS) == {"tp2d", "bl2d", "sc2d", "rm2d", "tp3d"}
+        assert set(APPLICATIONS) == {
+            "tp2d", "bl2d", "sc2d", "rm2d", "tp3d", "bl3d"
+        }
 
     def test_make_application(self):
         app = make_application("tp2d", shape=(32, 32))

@@ -1,0 +1,412 @@
+"""Tests for the experiment engine: specs, store, executor, CLI.
+
+Covers the engine contract end to end: content-hash stability (within
+and across processes), store round trips, parallel results bit-identical
+to serial, resume-after-partial-sweep hitting the store instead of
+recomputing, the disk-backed trace cache, and ``python -m repro`` smoke
+tests.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro.engine import (
+    ResultStore,
+    RunSpec,
+    default_store,
+    penalties_spec,
+    plan_specs,
+    run_spec,
+    run_specs,
+    shard_specs,
+    sim_spec,
+    trace_spec,
+)
+from repro.engine import executor as executor_module
+from repro.experiments import clear_trace_cache, paper_trace
+from repro.experiments.workloads import _cached_trace
+
+NPROCS = 4
+
+
+def _cli_env(tmp_path: Path) -> dict:
+    env = dict(os.environ)
+    env["REPRO_CACHE_DIR"] = str(tmp_path / "cli-store")
+    src = str(Path(__file__).resolve().parents[1] / "src")
+    existing = env.get("PYTHONPATH")
+    env["PYTHONPATH"] = src + (os.pathsep + existing if existing else "")
+    return env
+
+
+def _cli(args: list[str], tmp_path: Path) -> subprocess.CompletedProcess:
+    return subprocess.run(
+        [sys.executable, "-m", "repro", *args],
+        capture_output=True,
+        text=True,
+        env=_cli_env(tmp_path),
+    )
+
+
+class TestSpecHash:
+    def test_key_is_hex_sha256(self):
+        key = sim_spec("bl2d", "small").key()
+        assert len(key) == 64
+        assert set(key) <= set("0123456789abcdef")
+
+    def test_key_ignores_param_order(self):
+        a = sim_spec("bl2d", "small", partitioner="patch-lpt",
+                     params={"strategy": "lpt", "split_oversized": True})
+        b = sim_spec("bl2d", "small", partitioner="patch-lpt",
+                     params={"split_oversized": True, "strategy": "lpt"})
+        assert a.key() == b.key()
+
+    def test_key_distinguishes_jobs(self):
+        base = sim_spec("bl2d", "small", nprocs=4)
+        assert base.key() != sim_spec("tp2d", "small", nprocs=4).key()
+        assert base.key() != sim_spec("bl2d", "paper", nprocs=4).key()
+        assert base.key() != sim_spec("bl2d", "small", nprocs=8).key()
+        assert base.key() != sim_spec(
+            "bl2d", "small", nprocs=4, partitioner="patch-lpt"
+        ).key()
+        assert base.key() != penalties_spec("bl2d", "small", nprocs=4).key()
+        assert base.key() != trace_spec("bl2d", "small").key()
+
+    def test_named_machine_hashes_like_explicit_params(self):
+        from dataclasses import asdict
+
+        from repro.engine import make_machine
+
+        named = sim_spec("bl2d", "small", machine="net-starved")
+        explicit = sim_spec(
+            "bl2d", "small", machine=asdict(make_machine("net-starved"))
+        )
+        assert named.key() == explicit.key()
+
+    def test_key_stable_across_processes(self):
+        spec = sim_spec("bl2d", "small", nprocs=4, machine="net-starved")
+        code = (
+            "from repro.engine import sim_spec;"
+            "print(sim_spec('bl2d','small',nprocs=4,machine='net-starved')"
+            ".key())"
+        )
+        env = dict(os.environ)
+        env["PYTHONHASHSEED"] = "12345"  # must not leak into content hashes
+        out = subprocess.run(
+            [sys.executable, "-c", code],
+            capture_output=True,
+            text=True,
+            env=env,
+            check=True,
+        )
+        assert out.stdout.strip() == spec.key()
+
+    def test_json_round_trip(self):
+        spec = sim_spec(
+            "tp3d", "small", nprocs=8, partitioner="domain-sfc-morton",
+            params={"unit_size": 4}, machine="fast-network", seed=7,
+        )
+        again = RunSpec.from_json(json.loads(json.dumps(spec.to_json())))
+        assert again == spec
+        assert again.key() == spec.key()
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            sim_spec("nope2d", "small")
+        with pytest.raises(ValueError):
+            sim_spec("bl2d", "huge")
+        with pytest.raises(ValueError):
+            sim_spec("bl2d", "small", partitioner="magic")
+        with pytest.raises(ValueError):
+            sim_spec("bl2d", "small", nprocs=0)
+        with pytest.raises(ValueError):
+            penalties_spec("bl2d", "small", migration_denominator="median")
+        with pytest.raises(ValueError, match="schedule"):
+            sim_spec("bl2d", "small", partitioner="meta-partitioner",
+                     params={"bogus": 1})
+
+    def test_ndim_filled_from_registry(self):
+        assert sim_spec("bl2d", "small").ndim == 2
+        assert sim_spec("bl3d", "small").ndim == 3
+
+    def test_seed_rejected_for_seedless_kernel(self):
+        # sc2d's constructor takes no seed; fail at spec time, not in a
+        # worker's TypeError.
+        with pytest.raises(ValueError, match="seed"):
+            sim_spec("sc2d", "small", seed=7)
+        with pytest.raises(ValueError, match="seed"):
+            paper_trace("sc2d", "small", seed=7)
+
+
+class TestStore:
+    def test_round_trip(self, tmp_path):
+        store = ResultStore(tmp_path / "store")
+        spec = sim_spec("bl2d", "small", nprocs=NPROCS)
+        assert store.get_result(spec) is None
+        result = run_spec(spec, store=store)
+        assert store.has(result.key)
+        again = store.get_result(spec)
+        assert again.meta == result.meta
+        assert set(again.arrays) == set(result.arrays)
+        for name in result.arrays:
+            assert np.array_equal(again.arrays[name], result.arrays[name])
+            assert again.arrays[name].dtype == result.arrays[name].dtype
+
+    def test_entries_and_clear(self, tmp_path):
+        store = ResultStore(tmp_path / "store")
+        run_spec(sim_spec("bl2d", "small", nprocs=NPROCS), store=store)
+        run_spec(penalties_spec("bl2d", "small", nprocs=NPROCS), store=store)
+        kinds = sorted(doc["kind"] for doc in store.entries())
+        # The sim and penalties entries plus the shared trace artifact.
+        assert kinds == ["penalties", "sim", "trace"]
+        assert store.clear(kind="sim") == 1
+        assert sorted(d["kind"] for d in store.entries()) == ["penalties", "trace"]
+        assert store.clear() == 2
+        assert list(store.entries()) == []
+
+    def test_default_store_honors_env(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "custom"))
+        assert default_store().root == tmp_path / "custom"
+
+    def test_malformed_key_rejected(self, tmp_path):
+        store = ResultStore(tmp_path)
+        with pytest.raises(ValueError):
+            store.has("../escape")
+
+
+class TestExecutor:
+    def _sweep(self):
+        return [
+            sim_spec(app, "small", nprocs=NPROCS, partitioner=part)
+            for app in ("bl2d", "tp2d")
+            for part in ("nature+fable", "domain-sfc-hilbert")
+        ]
+
+    def test_parallel_bit_identical_to_serial(self, tmp_path):
+        specs = self._sweep()
+        serial = run_specs(specs, n_jobs=1, store=ResultStore(tmp_path / "a"))
+        parallel = run_specs(specs, n_jobs=2, store=ResultStore(tmp_path / "b"))
+        assert len(serial) == len(parallel) == len(specs)
+        for ser, par in zip(serial, parallel):
+            assert ser.key == par.key
+            assert ser.meta == par.meta
+            assert set(ser.arrays) == set(par.arrays)
+            for name in ser.arrays:
+                assert np.array_equal(ser.arrays[name], par.arrays[name])
+                assert ser.arrays[name].dtype == par.arrays[name].dtype
+
+    def test_results_in_submission_order_with_duplicates(self, tmp_path):
+        store = ResultStore(tmp_path / "store")
+        specs = self._sweep()
+        submitted = [specs[2], specs[0], specs[2]]
+        results = run_specs(submitted, store=store)
+        assert [r.key for r in results] == [s.key() for s in submitted]
+        assert results[0] is results[2]  # duplicates share one result
+
+    def test_resume_hits_store_instead_of_recomputing(
+        self, tmp_path, monkeypatch
+    ):
+        store = ResultStore(tmp_path / "store")
+        specs = self._sweep()
+        run_specs(specs[:2], n_jobs=1, store=store)  # partial sweep, then "killed"
+        computed: list[str] = []
+        real_execute = executor_module.execute
+
+        def counting_execute(spec, store=None):
+            computed.append(spec.label())
+            return real_execute(spec, store)
+
+        monkeypatch.setattr(executor_module, "execute", counting_execute)
+        results = run_specs(specs, n_jobs=1, store=store)  # resumed sweep
+        assert len(results) == len(specs)
+        assert computed == [s.label() for s in specs[2:]]
+
+    def test_plan_specs(self, tmp_path):
+        store = ResultStore(tmp_path / "store")
+        specs = self._sweep()
+        run_spec(specs[0], store=store)
+        unique, missing = plan_specs(specs + specs[:1], store)
+        assert unique == specs
+        assert missing == specs[1:]
+
+    def test_shard_specs_keeps_workloads_together(self):
+        specs = self._sweep()
+        shards = shard_specs(specs, 2)
+        assert sorted(s.key() for shard in shards for s in shard) == sorted(
+            s.key() for s in specs
+        )
+        for shard in shards:
+            assert len({(s.app, s.scale) for s in shard}) == 1
+
+    def test_shard_specs_splits_single_workload_sweeps(self):
+        # One app, many partitioners: n_jobs must still parallelize.
+        specs = [
+            sim_spec("bl2d", "small", nprocs=NPROCS, partitioner=p)
+            for p in ("nature+fable", "patch-lpt", "domain-sfc-hilbert",
+                      "domain-sfc-morton", "sticky-sfc", "armada-octant")
+        ]
+        shards = shard_specs(specs, 2)
+        assert len(shards) == 2
+        assert sorted(len(s) for s in shards) == [3, 3]
+
+    def test_force_recomputes(self, tmp_path, monkeypatch):
+        store = ResultStore(tmp_path / "store")
+        spec = self._sweep()[0]
+        run_spec(spec, store=store)
+        computed = []
+        real_execute = executor_module.execute
+        monkeypatch.setattr(
+            executor_module,
+            "execute",
+            lambda s, st=None: (computed.append(s.label()),
+                                real_execute(s, st))[1],
+        )
+        run_specs([spec], store=store, force=True)
+        assert computed == [spec.label()]
+
+    def test_force_replaces_stale_store_entry(self, tmp_path):
+        store = ResultStore(tmp_path / "store")
+        spec = self._sweep()[0]
+        good = run_spec(spec, store=store)
+        # Corrupt the stored summary, then force: the fresh result must
+        # replace the stale entry on disk and be what the caller gets.
+        meta_path = store.entry_dir(good.key) / "meta.json"
+        doc = json.loads(meta_path.read_text())
+        doc["meta"]["total_execution_seconds"] = -999.0
+        meta_path.write_text(json.dumps(doc))
+        fresh = run_spec(spec, store=store, force=True)
+        assert fresh.meta["total_execution_seconds"] == pytest.approx(
+            good.meta["total_execution_seconds"]
+        )
+        assert store.get_result(spec).meta == fresh.meta
+
+    def test_force_trace_regenerates_artifact(self, tmp_path):
+        store = ResultStore(tmp_path / "store")
+        spec = trace_spec("bl2d", "small")
+        run_spec(spec, store=store)
+        run_spec(spec, store=store, force=True)
+        # The trace artifact must survive a forced re-run.
+        assert store.get_trace(spec) is not None
+
+    def test_schedule_spec_runs(self, tmp_path):
+        store = ResultStore(tmp_path / "store")
+        result = run_spec(
+            sim_spec(
+                "bl2d", "small", nprocs=NPROCS, partitioner="meta-partitioner"
+            ),
+            store=store,
+        )
+        assert result.meta["partitioner"]["name"] == "scheduled"
+        assert result.meta["total_execution_seconds"] > 0
+
+
+class TestTraceCache:
+    def test_disk_cache_survives_memory_clear(self, tmp_path, monkeypatch):
+        store = ResultStore(tmp_path / "traces")
+        trace = paper_trace("bl2d", "small", store=store)
+        clear_trace_cache(store=store, memory_only=True)
+        # Break generation: a reload must come from the disk artifact.
+        monkeypatch.setattr(
+            "repro.experiments.workloads._generate",
+            lambda *a: pytest.fail("trace regenerated despite disk cache"),
+        )
+        reloaded = paper_trace("bl2d", "small", store=store)
+        assert reloaded.name == trace.name
+        assert reloaded.hierarchies() == trace.hierarchies()
+        assert [s.time for s in reloaded] == [s.time for s in trace]
+
+    def test_clear_trace_cache_removes_disk_entries(self, tmp_path):
+        store = ResultStore(tmp_path / "traces")
+        paper_trace("bl2d", "small", store=store)
+        paper_trace("tp2d", "small", store=store)
+        assert clear_trace_cache(store=store) == 2
+        assert list(store.entries()) == []
+
+    def test_memo_returns_same_object(self, tmp_path):
+        store = ResultStore(tmp_path / "traces")
+        assert paper_trace("bl2d", "small", store=store) is paper_trace(
+            "bl2d", "small", store=store
+        )
+
+    def test_seed_override_changes_trace_key(self):
+        assert (
+            trace_spec("bl2d", "small").key()
+            != trace_spec("bl2d", "small", seed=7).key()
+        )
+
+
+@pytest.fixture(autouse=True)
+def _fresh_trace_memo():
+    """Each test sees a cold in-process memo (stores are per-test tmp dirs)."""
+    _cached_trace.cache_clear()
+    yield
+
+
+class TestCli:
+    def test_sweep_serial_then_parallel_resume(self, tmp_path):
+        args = [
+            "sweep", "--scale", "small", "--apps", "bl2d",
+            "--partitioners", "nature+fable,patch-lpt",
+            "--nprocs", str(NPROCS),
+        ]
+        cold = _cli(args + ["--n-jobs", "2"], tmp_path)
+        assert cold.returncode == 0, cold.stderr
+        assert "2 to compute" in cold.stdout
+        assert "bl2d" in cold.stdout and "patch-lpt" in cold.stdout
+        warm = _cli(args + ["--n-jobs", "1"], tmp_path)
+        assert warm.returncode == 0, warm.stderr
+        assert "0 to compute" in warm.stdout
+        # The rendered result tables must match exactly, cold or warm.
+        table = lambda out: [  # noqa: E731
+            line for line in out.splitlines() if line.startswith("bl2d")
+        ]
+        assert table(cold.stdout) == table(warm.stdout)
+        assert len(table(cold.stdout)) == 2
+
+    def test_run_and_cache_roundtrip(self, tmp_path):
+        run = _cli(
+            ["run", "--app", "bl2d", "--scale", "small", "--nprocs",
+             str(NPROCS), "--json"],
+            tmp_path,
+        )
+        assert run.returncode == 0, run.stderr
+        doc = json.loads(run.stdout)
+        assert doc["meta"]["trace"] == "bl2d"
+        ls = _cli(["cache", "ls"], tmp_path)
+        assert ls.returncode == 0, ls.stderr
+        assert "2 entries" in ls.stdout  # the sim result + its trace
+        clear = _cli(["cache", "clear"], tmp_path)
+        assert clear.returncode == 0
+        assert "removed 2 entries" in clear.stdout
+
+    def test_report_smoke(self, tmp_path):
+        out = _cli(
+            ["report", "--figures", "1,5", "--scale", "small",
+             "--nprocs", str(NPROCS), "--quiet"],
+            tmp_path,
+        )
+        assert out.returncode == 0, out.stderr
+        assert "Figure 1" in out.stdout
+        assert "Figure 5" in out.stdout
+        assert "beta_C" in out.stdout
+
+    def test_unknown_app_fails_cleanly(self, tmp_path):
+        out = _cli(["sweep", "--apps", "warp9", "--scale", "small"], tmp_path)
+        assert out.returncode != 0
+        assert "unknown app" in out.stderr
+
+    def test_spec_validation_error_is_not_a_traceback(self, tmp_path):
+        out = _cli(
+            ["run", "--app", "sc2d", "--scale", "small", "--seed", "5"],
+            tmp_path,
+        )
+        assert out.returncode == 2
+        assert "error:" in out.stderr
+        assert "Traceback" not in out.stderr
