@@ -19,7 +19,7 @@ to show the curve it followed.
 Run:  python examples/meta_partitioner_demo.py
 """
 
-from repro.engine import make_machine, run_specs, sim_spec
+from repro.engine import create, run_specs, sim_spec
 from repro.experiments import paper_trace
 from repro.meta import MetaScheduler
 from repro.model import StateSampler
@@ -50,7 +50,7 @@ def main() -> None:
     print(f"\ntrace '{trace.name}': {len(trace)} snapshots")
 
     for machine_name in MACHINES:
-        machine = make_machine(machine_name)
+        machine = create("machine", machine_name)
         print(f"\n=== {machine_name} (comm/compute ratio "
               f"{machine.comm_compute_ratio():.1f}) ===")
         for name, kind in SCHEDULES:
@@ -59,7 +59,7 @@ def main() -> None:
 
     # Show the classification curve the meta-partitioner followed on the
     # balanced cluster (in-process: the schedule's history is the point).
-    machine = make_machine("cluster-2003")
+    machine = create("machine", "cluster-2003")
     meta = MetaScheduler(sampler=StateSampler(machine=machine, nprocs=NPROCS))
     TraceSimulator(machine=machine).run_scheduled(trace, meta, NPROCS)
     print("\nclassification trajectory (first 8 regrids, cluster-2003):")

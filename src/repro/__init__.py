@@ -5,11 +5,13 @@ ICPP 2004).
 Subpackage map (see DESIGN.md for the full system inventory):
 
 ==================  =====================================================
+``repro.registry``   unified component registry (apps, partitioners,
+                     schedules, machines, scales; plugin entry points)
 ``repro.geometry``   integer box calculus, patch sets, rasterization
 ``repro.sfc``        Morton / Hilbert space-filling curves
 ``repro.hierarchy``  SAMR grid hierarchies (levels, nesting, workload)
 ``repro.clustering`` error flagging + Berger--Rigoutsos clustering
-``repro.apps``       the four application kernels (TP2D/BL2D/SC2D/RM2D)
+``repro.apps``       the paper's kernels (TP2D/BL2D/SC2D/RM2D) + 3-D
 ``repro.trace``      regrid-snapshot traces and serialization
 ``repro.partition``  domain-based / patch-based / hybrid / sticky P's
 ``repro.simulator``  trace-driven Berger--Colella execution simulator
@@ -17,8 +19,9 @@ Subpackage map (see DESIGN.md for the full system inventory):
 ``repro.model``      the penalties and the classification space (core)
 ``repro.meta``       the meta-partitioner and the ArMADA octant baseline
 ``repro.experiments`` regeneration of every figure of the evaluation
-``repro.engine``     sharded experiment execution over a content-addressed
-                     result store, and the ``python -m repro`` CLI
+``repro.engine``     dependency-aware experiment execution over a
+                     content-addressed result store (versioned public
+                     API), and the ``python -m repro`` CLI
 ==================  =====================================================
 """
 

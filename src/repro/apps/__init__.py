@@ -9,18 +9,27 @@ Trace name    Kernel                                      Behaviour
 ``rm2d``      Richtmyer--Meshkov instability (VTF)        seemingly random
 ``tp3d``      3-D transport benchmark (this repo)         seemingly random
 ``bl3d``      3-D Buckley--Leverett oil-water flow        oscillatory
+``sc3d``      3-D Scalarwave numerical relativity         oscillatory
 ============  ==========================================  ==================
 
 The first four are the paper's single-processor traces (section 5.1.1);
-``tp3d`` and ``bl3d`` extend the suite to the 3-D hierarchies production
-SAMR codes actually run — one seemingly random, one oscillatory.
+the 3-D kernels extend the suite to the hierarchies production SAMR
+codes actually run.
+
+Every kernel registers itself with the unified component registry
+(``@register("app", name)`` in its own module), so :data:`APPLICATIONS`
+is a *live* view: kernels added by third-party plugins (the
+``repro.components`` entry-point group) or at runtime appear here — and
+everywhere names are resolved — without touching engine internals.
 """
 
+from ..registry import registry
 from .base import ShadowApplication, TraceGenConfig, build_hierarchy, generate_trace
 from .bl2d import BuckleyLeverett2D, fractional_flow
 from .bl3d import BuckleyLeverett3D
 from .rm2d import RichtmyerMeshkov2D
 from .sc2d import ScalarWave2D
+from .sc3d import ScalarWave3D
 from .tp2d import Transport2D
 from .tp3d import Transport3D
 
@@ -34,29 +43,17 @@ __all__ = [
     "fractional_flow",
     "RichtmyerMeshkov2D",
     "ScalarWave2D",
+    "ScalarWave3D",
     "Transport2D",
     "Transport3D",
     "APPLICATIONS",
     "make_application",
 ]
 
-#: Registry of all kernels, keyed by trace name.
-APPLICATIONS = {
-    "tp2d": Transport2D,
-    "bl2d": BuckleyLeverett2D,
-    "sc2d": ScalarWave2D,
-    "rm2d": RichtmyerMeshkov2D,
-    "tp3d": Transport3D,
-    "bl3d": BuckleyLeverett3D,
-}
+#: Live registry view of all kernels, keyed by trace name.
+APPLICATIONS = registry("app")
 
 
 def make_application(name: str, **kwargs) -> ShadowApplication:
-    """Instantiate one of the paper's kernels by trace name."""
-    try:
-        cls = APPLICATIONS[name]
-    except KeyError:
-        raise ValueError(
-            f"unknown application {name!r}; choose from {sorted(APPLICATIONS)}"
-        ) from None
-    return cls(**kwargs)
+    """Instantiate a registered kernel by trace name."""
+    return APPLICATIONS.create(name, **kwargs)

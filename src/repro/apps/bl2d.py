@@ -26,6 +26,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from ..registry import register
 from .base import ShadowApplication
 
 __all__ = ["BuckleyLeverett2D", "fractional_flow"]
@@ -47,6 +48,7 @@ def fractional_flow(s: np.ndarray, mobility_ratio: float) -> np.ndarray:
     return out
 
 
+@register("app", "bl2d", description="Buckley--Leverett oil-water flow (IPARS-style), oscillatory trace")
 class BuckleyLeverett2D(ShadowApplication):
     """Quarter-five-spot Buckley--Leverett displacement with cyclic injection.
 

@@ -24,12 +24,14 @@ from __future__ import annotations
 
 import numpy as np
 
+from ..registry import register
 from .base import ShadowApplication
 from .bl2d import fractional_flow
 
 __all__ = ["BuckleyLeverett3D"]
 
 
+@register("app", "bl3d", description="3-D Buckley--Leverett oil-water flow, oscillatory trace")
 class BuckleyLeverett3D(ShadowApplication):
     """Corner-to-corner Buckley--Leverett displacement with cyclic injection.
 

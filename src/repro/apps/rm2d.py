@@ -22,11 +22,13 @@ from __future__ import annotations
 
 import numpy as np
 
+from ..registry import register
 from .base import ShadowApplication
 
 __all__ = ["RichtmyerMeshkov2D"]
 
 
+@register("app", "rm2d", description="Richtmyer--Meshkov instability (VTF-style), seemingly random trace")
 class RichtmyerMeshkov2D(ShadowApplication):
     """Shocked perturbed interface in a closed box (Euler / Rusanov).
 

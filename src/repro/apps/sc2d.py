@@ -22,11 +22,13 @@ from __future__ import annotations
 
 import numpy as np
 
+from ..registry import register
 from .base import ShadowApplication
 
 __all__ = ["ScalarWave2D"]
 
 
+@register("app", "sc2d", description="Scalarwave numerical relativity (Cactus-style), oscillatory trace")
 class ScalarWave2D(ShadowApplication):
     """Pulsed-source scalar wave with absorbing boundaries.
 

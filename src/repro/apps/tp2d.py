@@ -22,11 +22,13 @@ from __future__ import annotations
 import numpy as np
 from scipy import ndimage
 
+from ..registry import register
 from .base import ShadowApplication
 
 __all__ = ["Transport2D"]
 
 
+@register("app", "tp2d", description="2-D transport benchmark (GrACE-style), seemingly random trace")
 class Transport2D(ShadowApplication):
     """Meandering-vortex advection of compact pulses.
 

@@ -22,11 +22,13 @@ from __future__ import annotations
 import numpy as np
 from scipy import ndimage
 
+from ..registry import register
 from .base import ShadowApplication
 
 __all__ = ["Transport3D"]
 
 
+@register("app", "tp3d", description="3-D transport benchmark, seemingly random trace")
 class Transport3D(ShadowApplication):
     """Meandering-vortex advection of compact blobs in 3-D.
 

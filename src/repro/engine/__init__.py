@@ -1,4 +1,4 @@
-"""The experiment engine: sharded runs over a content-addressed store.
+"""The experiment engine: dependency-aware runs over a content store.
 
 The paper's evaluation is a sweep — applications x partitioners x
 machines, re-run per figure and ablation — and the 3-D workloads made it
@@ -6,17 +6,32 @@ strictly bigger.  This subsystem turns every such computation into a
 declarative job:
 
 * :mod:`repro.engine.spec` — the :class:`RunSpec`/:class:`RunResult` job
-  model with a stable content hash;
+  model with a stable content hash and explicit input edges
+  (``RunSpec.inputs``);
+* :mod:`repro.engine.graph` — the spec dependency graph: submitted jobs
+  plus their implicit trace inputs, deduplicated, resolved against the
+  store and layered topologically (:func:`build_plan`);
 * :mod:`repro.engine.store` — the content-addressed artifact store
-  (``REPRO_CACHE_DIR``, default ``~/.cache/repro``): traces and simulator
-  runs are computed once and reused across figures, benchmarks and CLI
-  invocations;
-* :mod:`repro.engine.executor` — the sharded, resumable executor
-  (process pool with trace-aware chunking; serial fallback);
-* :mod:`repro.engine.registry` — partitioner/schedule/machine name
-  registries shared with the experiment layer;
+  (``REPRO_CACHE_DIR``, default ``~/.cache/repro``) with LRU eviction
+  (:meth:`ResultStore.gc`);
+* :mod:`repro.engine.executor` — the DAG executor: walks the plan's
+  layers (traces first, dependents fan out), sharding each layer across
+  a process pool;
+* :mod:`repro.engine.components` — the built-in components, registered
+  with the unified :mod:`repro.registry` (``create`` / ``registry`` /
+  ``describe`` are re-exported here);
 * :mod:`repro.engine.cli` — the ``python -m repro`` command line
-  (``run`` / ``sweep`` / ``report`` / ``cache``).
+  (``run`` / ``sweep`` / ``plan`` / ``graph`` / ``report`` /
+  ``describe`` / ``cache``).
+
+This package is the engine's **versioned public API**: everything in
+``__all__`` follows the deprecation policy (one release of
+``DeprecationWarning`` before removal — currently the PR-2 helpers
+``make_partitioner`` / ``make_schedule`` / ``make_machine``), and
+:data:`ENGINE_API_VERSION` bumps its major component on breaking
+changes.  :data:`ENGINE_SCHEMA_VERSION` (part of every content hash) is
+orthogonal: it only moves when stored-result *semantics* change, so an
+API redesign that keeps hashes stable keeps every warm store warm.
 
 Import discipline: :mod:`repro.experiments` imports this package at
 module scope, so engine modules only import the experiment layer lazily
@@ -24,14 +39,20 @@ inside functions.
 """
 
 from .executor import execute, plan_specs, run_spec, run_specs, shard_specs
-from .registry import (
-    MACHINE_NAMES,
-    PARTITIONER_NAMES,
-    SCHEDULE_NAMES,
+from .graph import MissingInputError, Plan, SpecNode, build_plan, toposort_layers
+from .components import (
     STATIC_SUITE,
+    create,
+    describe,
+    is_schedule,
+    load_plugins,
     make_machine,
     make_partitioner,
     make_schedule,
+    register,
+    registry,
+    resolve_machine,
+    validate_partitioner,
 )
 from .spec import (
     ENGINE_SCHEMA_VERSION,
@@ -43,26 +64,65 @@ from .spec import (
 )
 from .store import DEFAULT_CACHE_DIR, ResultStore, default_store
 
+#: Version of this public surface (semver; major bumps are breaking).
+ENGINE_API_VERSION = "1.0"
+
 __all__ = [
+    # versions
+    "ENGINE_API_VERSION",
     "ENGINE_SCHEMA_VERSION",
+    # job model
     "RunSpec",
     "RunResult",
     "trace_spec",
     "sim_spec",
     "penalties_spec",
+    # store
     "ResultStore",
     "default_store",
     "DEFAULT_CACHE_DIR",
+    # spec graph
+    "Plan",
+    "SpecNode",
+    "build_plan",
+    "toposort_layers",
+    "MissingInputError",
+    # execution
     "execute",
     "run_spec",
     "run_specs",
     "plan_specs",
     "shard_specs",
-    "MACHINE_NAMES",
+    # component registry
+    "create",
+    "describe",
+    "register",
+    "registry",
+    "load_plugins",
+    "resolve_machine",
+    "is_schedule",
+    "validate_partitioner",
+    "STATIC_SUITE",
+    # live name tuples (module __getattr__)
     "PARTITIONER_NAMES",
     "SCHEDULE_NAMES",
-    "STATIC_SUITE",
-    "make_machine",
+    "MACHINE_NAMES",
+    # deprecated shims (DeprecationWarning; removal after one release)
     "make_partitioner",
     "make_schedule",
+    "make_machine",
 ]
+
+
+_NAME_TUPLE_KINDS = {
+    "PARTITIONER_NAMES": "partitioner",
+    "SCHEDULE_NAMES": "schedule",
+    "MACHINE_NAMES": "machine",
+}
+
+
+def __getattr__(name: str):
+    # Live views: stay current as components register at runtime.
+    if name in _NAME_TUPLE_KINDS:
+        return tuple(registry(_NAME_TUPLE_KINDS[name]))
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

@@ -6,13 +6,25 @@ Subcommands
     Execute (or fetch) a single job and print its summary or series.
 ``repro sweep``
     Fan a grid of jobs — apps x partitioners x machines — across worker
-    processes.  Already-stored results are skipped, so re-running a
-    killed sweep resumes where it left off.
+    processes.  Dependency resolution schedules missing workload traces
+    first; already-stored results are skipped, so re-running a killed
+    sweep resumes where it left off.
+``repro plan``
+    Resolve the same grid into its dependency-aware execution plan
+    *without running it*: what the store already holds vs. what would be
+    computed, layer by layer.
+``repro graph``
+    Print the spec dependency graph (``--dot`` for Graphviz).
 ``repro report``
     Regenerate the paper's figures through the engine and render them as
     ASCII charts (``repro.experiments.report``).
-``repro cache ls | clear``
-    Inspect / empty the content-addressed store.
+``repro describe``
+    Introspect the component registries: every registered app,
+    partitioner, schedule, machine and scale with its parameter schema.
+``repro cache ls | clear | gc``
+    Inspect, empty or garbage-collect the content-addressed store
+    (``gc`` takes ``--max-bytes`` / ``--older-than`` with an
+    LRU-by-mtime policy).
 
 The store location is ``$REPRO_CACHE_DIR`` (default ``~/.cache/repro``);
 ``--cache-dir`` overrides it per invocation.
@@ -23,15 +35,14 @@ from __future__ import annotations
 import argparse
 import json
 import sys
+import time
 from typing import Sequence
 
-from .registry import (
-    MACHINE_NAMES,
-    PARTITIONER_NAMES,
-    SCHEDULE_NAMES,
-    STATIC_SUITE,
-)
-from .executor import plan_specs, run_spec, run_specs
+from ..registry import describe as describe_components
+from ..registry import registry
+from .executor import run_spec, run_specs
+from .graph import Plan, build_plan
+from .components import STATIC_SUITE
 from .spec import RunSpec, penalties_spec, sim_spec, trace_spec
 from .store import ResultStore, default_store
 
@@ -49,39 +60,41 @@ def _split(value: str) -> list[str]:
 
 
 def _resolve_apps(value: str) -> list[str]:
-    from ..experiments.workloads import ALL_APP_NAMES, APP_NAMES, APP_NAMES_3D
+    from ..experiments.workloads import APP_NAMES, app_names
 
     aliases = {
         "2d": list(APP_NAMES),
-        "3d": list(APP_NAMES_3D),
-        "all": list(ALL_APP_NAMES),
+        "3d": list(app_names(3)),
+        "all": list(app_names()),
     }
     if value in aliases:
         return aliases[value]
     apps = _split(value)
+    known = registry("app")
     for app in apps:
-        if app not in ALL_APP_NAMES:
+        if app not in known:
             raise SystemExit(
-                f"unknown app {app!r}; choose from {ALL_APP_NAMES} "
+                f"unknown app {app!r}; choose from {tuple(known)} "
                 f"or the aliases 2d/3d/all"
             )
     return apps
 
 
 def _resolve_partitioners(value: str) -> list[str]:
+    partitioners = registry("partitioner")
+    schedules = registry("schedule")
     aliases = {
         "suite": list(STATIC_SUITE),
-        "all": list(STATIC_SUITE) + list(SCHEDULE_NAMES),
+        "all": list(partitioners) + list(schedules),
     }
     if value in aliases:
         return aliases[value]
     names = _split(value)
-    known = set(PARTITIONER_NAMES) | set(SCHEDULE_NAMES)
     for name in names:
-        if name not in known:
+        if name not in partitioners and name not in schedules:
             raise SystemExit(
                 f"unknown partitioner {name!r}; choose from "
-                f"{PARTITIONER_NAMES + SCHEDULE_NAMES} or suite/all"
+                f"{tuple(partitioners) + tuple(schedules)} or suite/all"
             )
     return names
 
@@ -99,13 +112,49 @@ def _parse_params(pairs: list[str]) -> dict:
     return params
 
 
+_SIZE_SUFFIXES = {"k": 1024, "m": 1024**2, "g": 1024**3}
+_DURATION_SUFFIXES = {"s": 1, "m": 60, "h": 3600, "d": 86400, "w": 604800}
+
+
+def _parse_size(value: str) -> int:
+    """``500M`` / ``2g`` / ``1048576`` -> bytes."""
+    raw = value.strip().lower().removesuffix("b")
+    factor = 1
+    if raw and raw[-1] in _SIZE_SUFFIXES:
+        factor = _SIZE_SUFFIXES[raw[-1]]
+        raw = raw[:-1]
+    try:
+        return int(float(raw) * factor)
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"expected a size like 500M or 2G, got {value!r}"
+        ) from None
+
+
+def _parse_duration(value: str) -> float:
+    """``7d`` / ``12h`` / ``3600`` -> seconds."""
+    raw = value.strip().lower()
+    factor = 1
+    if raw and raw[-1] in _DURATION_SUFFIXES:
+        factor = _DURATION_SUFFIXES[raw[-1]]
+        raw = raw[:-1]
+    try:
+        return float(raw) * factor
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"expected a duration like 7d or 12h, got {value!r}"
+        ) from None
+
+
 def _sweep_specs(args) -> list[RunSpec]:
+    machines = registry("machine")
     specs: list[RunSpec] = []
     for app in _resolve_apps(args.apps):
         for machine in _split(args.machines):
-            if machine not in MACHINE_NAMES:
+            if machine not in machines:
                 raise SystemExit(
-                    f"unknown machine {machine!r}; choose from {MACHINE_NAMES}"
+                    f"unknown machine {machine!r}; choose from "
+                    f"{tuple(machines)}"
                 )
             for name in _resolve_partitioners(args.partitioners):
                 if args.kind == "sim":
@@ -213,8 +262,9 @@ def _cmd_run(args) -> int:
 def _cmd_sweep(args) -> int:
     store = _store_from(args)
     specs = _sweep_specs(args)
-    unique, missing = plan_specs(specs, store)
-    computed = len(unique) if args.force else len(missing)
+    # One dependency-aware resolution pass for the summary numbers (the
+    # executor rebuilds its own against the live store).
+    counts = build_plan(specs, store, force=args.force).counts()
     results = run_specs(
         specs,
         n_jobs=args.n_jobs,
@@ -223,10 +273,82 @@ def _cmd_sweep(args) -> int:
         progress=None if args.quiet else print,
     )
     _print_sweep_table(results)
+    implicit = counts["implicit_compute"]
     print(
-        f"\n{len(results)} results ({computed} computed, "
-        f"{len(results) - computed} reused) — store: {store.root}"
+        f"\n{len(results)} results ({counts['compute']} computed, "
+        f"{len(results) - counts['compute']} reused"
+        + (f", +{implicit} trace input{'s' if implicit != 1 else ''}"
+           if implicit else "")
+        + f") — store: {store.root}"
     )
+    return 0
+
+
+def _print_plan(plan: Plan) -> None:
+    counts = plan.counts()
+    stored = [node for node in plan.nodes.values() if node.stored]
+    print(
+        f"plan: {counts['submitted']} submitted, {counts['stored']} stored, "
+        f"{counts['compute']} to compute"
+        + (
+            f" (+{counts['implicit_compute']} trace "
+            f"input{'s' if counts['implicit_compute'] != 1 else ''})"
+            if counts["implicit_compute"]
+            else ""
+        )
+    )
+    if stored:
+        print(f"\nresolved by the store ({len(stored)}):")
+        for node in stored:
+            origin = "" if node.submitted else "  [input]"
+            print(f"  hit  {node.spec.label():<44} {node.key[:12]}{origin}")
+    for depth, layer in enumerate(plan.layers):
+        print(f"\nlayer {depth} ({len(layer)} jobs):")
+        for key in layer:
+            node = plan.node(key)
+            origin = "" if node.submitted else "  [input]"
+            print(f"  run  {node.spec.label():<44} {node.key[:12]}{origin}")
+    if not plan.layers:
+        print("\nnothing to compute: the store resolves every spec.")
+
+
+def _cmd_plan(args) -> int:
+    store = _store_from(args)
+    plan = build_plan(_sweep_specs(args), store)
+    _print_plan(plan)
+    print(f"\nstore: {store.root}")
+    return 0
+
+
+def _cmd_graph(args) -> int:
+    store = _store_from(args)
+    plan = build_plan(_sweep_specs(args), store)
+    if args.dot:
+        print("digraph specs {")
+        print("  rankdir=LR;")
+        for node in plan.nodes.values():
+            state = "stored" if node.stored else "compute"
+            shape = "box" if node.submitted else "ellipse"
+            print(
+                f'  "{node.key[:12]}" [label="{node.spec.label()}\\n{state}"'
+                f", shape={shape}];"
+            )
+        for consumer, produced in plan.edges():
+            print(f'  "{produced[:12]}" -> "{consumer[:12]}";')
+        print("}")
+        return 0
+    for node in plan.nodes.values():
+        state = "stored" if node.stored else "compute"
+        if node.inputs:
+            for input_key in node.inputs:
+                input_node = plan.nodes[input_key]
+                print(
+                    f"{node.spec.label()} [{state}] <- "
+                    f"{input_node.spec.label()} "
+                    f"[{'stored' if input_node.stored else 'compute'}]"
+                )
+        else:
+            print(f"{node.spec.label()} [{state}]")
     return 0
 
 
@@ -267,22 +389,75 @@ def _cmd_report(args) -> int:
     return 0
 
 
+def _cmd_describe(args) -> int:
+    # The built-in scales register when the workload layer imports; pull
+    # it in so `describe` sees them (and any entry-point plugins) even
+    # though this command never builds a spec.
+    from ..experiments import workloads  # noqa: F401
+    from ..registry import component_kinds
+
+    kinds = [args.kind] if args.kind else list(component_kinds())
+    if args.kind and args.kind not in component_kinds():
+        raise SystemExit(
+            f"unknown component kind {args.kind!r}; choose from "
+            f"{component_kinds()}"
+        )
+    doc = {kind: describe_components(kind) for kind in kinds}
+    if args.json:
+        print(json.dumps(doc, indent=1, sort_keys=True, default=repr))
+        return 0
+    for kind in kinds:
+        entries = doc[kind]
+        print(f"{kind} ({len(entries)} registered)")
+        for name, entry in entries.items():
+            print(f"  {name:<24} {entry['description']}")
+            for param in entry["params"] or ():
+                if param["required"]:
+                    detail = "required"
+                else:
+                    detail = f"default={param['default']!r}"
+                kind_note = f": {param['type']}" if param.get("type") else ""
+                print(f"      --param {param['name']}{kind_note}  ({detail})")
+        print()
+    return 0
+
+
 def _cmd_cache(args) -> int:
     store = _store_from(args)
     if args.cache_cmd == "clear":
         removed = store.clear(kind=args.kind)
         print(f"removed {removed} entries from {store.root}")
         return 0
+    if args.cache_cmd == "gc":
+        if args.max_bytes is None and args.older_than is None:
+            raise SystemExit("cache gc needs --max-bytes and/or --older-than")
+        removed, freed = store.gc(
+            max_bytes=args.max_bytes, older_than_seconds=args.older_than
+        )
+        print(
+            f"evicted {removed} entries ({freed / 1e6:.1f} MB) "
+            f"from {store.root}"
+        )
+        return 0
     entries = list(store.entries())
     total = sum(doc["nbytes"] for doc in entries)
     print(f"store: {store.root} ({len(entries)} entries, {total / 1e6:.1f} MB)")
     if entries:
-        print(f"{'key':<14} {'kind':<10} {'job':<40} {'kB':>8}")
+        now = time.time()
+        print(f"{'key':<14} {'kind':<10} {'job':<40} {'kB':>8} {'age':>8}")
         for doc in entries:
             spec = RunSpec.from_json(doc["spec"])
+            age = max(0.0, now - doc["mtime"])
+            if age >= 86400:
+                age_str = f"{age / 86400:.1f}d"
+            elif age >= 3600:
+                age_str = f"{age / 3600:.1f}h"
+            else:
+                age_str = f"{age / 60:.1f}m"
             print(
                 f"{doc['key'][:12]:<14} {doc['kind']:<10} "
-                f"{spec.label():<40} {doc['nbytes'] / 1024:>8.1f}"
+                f"{spec.label():<40} {doc['nbytes'] / 1024:>8.1f} "
+                f"{age_str:>8}"
             )
     return 0
 
@@ -291,13 +466,14 @@ def build_parser() -> argparse.ArgumentParser:
     """The ``python -m repro`` argument parser."""
     parser = argparse.ArgumentParser(
         prog="repro",
-        description="Experiment engine: sharded sweeps over a "
+        description="Experiment engine: dependency-aware sweeps over a "
         "content-addressed result store.",
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
     def common(p, nprocs=True):
-        p.add_argument("--scale", default="paper", choices=["paper", "small"])
+        p.add_argument("--scale", default="paper",
+                       help="workload scale (default: paper)")
         p.add_argument(
             "--cache-dir", default=None,
             help="store location (default: $REPRO_CACHE_DIR or ~/.cache/repro)",
@@ -305,6 +481,17 @@ def build_parser() -> argparse.ArgumentParser:
         if nprocs:
             p.add_argument("--nprocs", type=int, default=16,
                            help="simulated processor count")
+
+    def grid(p):
+        p.add_argument("--apps", default="2d",
+                       help="comma list, or 2d / 3d / all (default: 2d)")
+        p.add_argument("--partitioners", default="suite",
+                       help="comma list, or suite / all (default: suite)")
+        p.add_argument("--machines", default="cluster-2003",
+                       help="comma list of machine scenarios "
+                       "(see `repro describe --kind machine`)")
+        p.add_argument("--kind", default="sim",
+                       choices=["sim", "penalties", "trace"])
 
     run = sub.add_parser("run", help="run (or fetch) one job")
     common(run)
@@ -328,20 +515,30 @@ def build_parser() -> argparse.ArgumentParser:
         "sweep", help="run an app x partitioner x machine grid, sharded"
     )
     common(sweep)
-    sweep.add_argument("--apps", default="2d",
-                       help="comma list, or 2d / 3d / all (default: 2d)")
-    sweep.add_argument("--partitioners", default="suite",
-                       help="comma list, or suite / all (default: suite)")
-    sweep.add_argument("--machines", default="cluster-2003",
-                       help=f"comma list from {MACHINE_NAMES}")
-    sweep.add_argument("--kind", default="sim",
-                       choices=["sim", "penalties", "trace"])
+    grid(sweep)
     sweep.add_argument("--n-jobs", type=int, default=1,
                        help="worker processes (1 = serial, no pool)")
     sweep.add_argument("--force", action="store_true")
     sweep.add_argument("--quiet", action="store_true",
                        help="suppress progress lines")
     sweep.set_defaults(func=_cmd_sweep)
+
+    plan = sub.add_parser(
+        "plan",
+        help="resolve a sweep's dependency plan without running it",
+    )
+    common(plan)
+    grid(plan)
+    plan.set_defaults(func=_cmd_plan)
+
+    graph = sub.add_parser(
+        "graph", help="print a sweep's spec dependency graph"
+    )
+    common(graph)
+    grid(graph)
+    graph.add_argument("--dot", action="store_true",
+                       help="emit Graphviz DOT instead of text")
+    graph.set_defaults(func=_cmd_graph)
 
     report = sub.add_parser(
         "report", help="regenerate paper figures through the engine"
@@ -353,11 +550,29 @@ def build_parser() -> argparse.ArgumentParser:
     report.add_argument("--quiet", action="store_true")
     report.set_defaults(func=_cmd_report)
 
-    cache = sub.add_parser("cache", help="inspect or empty the result store")
-    cache.add_argument("cache_cmd", choices=["ls", "clear"])
+    desc = sub.add_parser(
+        "describe", help="introspect the component registries"
+    )
+    desc.add_argument("--kind", default=None,
+                      help="one component kind (default: all declared kinds)")
+    desc.add_argument("--json", action="store_true")
+    desc.set_defaults(func=_cmd_describe)
+
+    cache = sub.add_parser(
+        "cache", help="inspect, empty or garbage-collect the result store"
+    )
+    cache.add_argument("cache_cmd", choices=["ls", "clear", "gc"])
     cache.add_argument("--kind", default=None,
                        choices=["trace", "sim", "penalties"],
                        help="restrict clear to one kind")
+    cache.add_argument("--max-bytes", type=_parse_size, default=None,
+                       metavar="SIZE",
+                       help="gc: evict LRU entries until under SIZE "
+                       "(e.g. 500M, 2G)")
+    cache.add_argument("--older-than", type=_parse_duration, default=None,
+                       metavar="AGE",
+                       help="gc: evict entries untouched for AGE "
+                       "(e.g. 7d, 12h)")
     cache.add_argument("--cache-dir", default=None)
     cache.set_defaults(func=_cmd_cache)
     return parser

@@ -1,19 +1,21 @@
-"""Sharded execution of :class:`RunSpec` jobs over the result store.
+"""DAG execution of :class:`RunSpec` jobs over the result store.
 
-:func:`run_specs` is the engine's workhorse: it deduplicates the
-submitted specs, skips everything the store already holds (which is what
-makes a killed sweep *resumable* — re-submitting the same sweep only
-computes the missing tail), shards the remaining work across a
-``ProcessPoolExecutor``, and returns results in deterministic submission
-order regardless of worker scheduling.
+:func:`run_specs` is the engine's workhorse: it resolves the submitted
+specs into a dependency-aware :class:`~repro.engine.graph.Plan`
+(deduplicated, implicit trace inputs expanded, everything the store
+already holds pruned — which is what makes a killed sweep *resumable*
+and lets a sim sweep over a warm store execute zero trace jobs), then
+walks the plan's topological layers: traces first, dependents fanned out
+in parallel once their inputs are published.
 
-Sharding is trace-aware: pending specs are grouped by their workload
-``(app, scale, seed)`` and whole groups are dealt to the least-loaded
-shard, so each worker generates/loads every trace it needs at most once
-(the per-process ``paper_trace`` memo does the rest).  Workers publish
-into the content-addressed store and return only keys; the parent then
-loads every result back from disk, so serial (``n_jobs=1``, which never
-spawns a pool) and parallel execution return bit-identical artifacts.
+Within a layer, sharding is trace-aware: pending specs are grouped by
+their workload ``(app, scale, seed)`` and whole groups are dealt to the
+least-loaded shard, so each worker loads every trace it needs at most
+once (the per-process ``paper_trace`` memo does the rest).  Workers
+publish into the content-addressed store and return only keys; the
+parent then loads every result back from disk, so serial (``n_jobs=1``,
+which never spawns a pool) and parallel execution return bit-identical
+artifacts.
 """
 
 from __future__ import annotations
@@ -24,7 +26,8 @@ from typing import Callable, Iterable, Sequence
 import numpy as np
 
 from ..simulator import TraceSimulator
-from .registry import is_schedule, make_machine, make_partitioner, make_schedule
+from .graph import MissingInputError, Plan, build_plan
+from .components import create, is_schedule, resolve_machine
 from .spec import RunResult, RunSpec
 from .store import ResultStore, default_store
 
@@ -68,13 +71,15 @@ def trace_meta(trace) -> dict:
 
 def _execute_sim(spec: RunSpec, store: ResultStore) -> RunResult:
     trace = _trace_for(spec, store)
-    machine = make_machine(spec.machine)
+    machine = resolve_machine(spec.machine)
     sim = TraceSimulator(machine=machine, ghost_width=spec.ghost_width)
     if is_schedule(spec.partitioner):
-        schedule = make_schedule(spec.partitioner, machine, spec.nprocs)
+        schedule = create(
+            "schedule", spec.partitioner, machine=machine, nprocs=spec.nprocs
+        )
         result = sim.run_scheduled(trace, schedule, spec.nprocs)
     else:
-        partitioner = make_partitioner(spec.partitioner, dict(spec.params))
+        partitioner = create("partitioner", spec.partitioner, **dict(spec.params))
         result = sim.run(trace, partitioner, spec.nprocs)
     arrays = {
         name: np.array(
@@ -100,7 +105,7 @@ def _execute_penalties(spec: RunSpec, store: ResultStore) -> RunResult:
 
     trace = _trace_for(spec, store)
     sampler = StateSampler(
-        machine=make_machine(spec.machine),
+        machine=resolve_machine(spec.machine),
         ghost_width=spec.ghost_width,
         migration_denominator=spec.migration_denominator,
         nprocs=spec.nprocs,
@@ -251,6 +256,23 @@ def _run_shard(root: str, spec_docs: list[dict], overwrite: bool) -> list[str]:
     return keys
 
 
+def _verify_inputs(layer: Sequence[str], plan: Plan, store: ResultStore) -> None:
+    """Fail fast if a layer's inputs never materialized in the store."""
+    for key in layer:
+        node = plan.node(key)
+        for input_key in node.inputs:
+            if store.has(input_key):
+                continue
+            input_node = plan.nodes.get(input_key)
+            input_label = (
+                input_node.spec.label() if input_node else input_key[:12]
+            )
+            raise MissingInputError(
+                f"{node.spec.label()} requires input {input_label} "
+                f"({input_key[:12]}) which is not in the store"
+            )
+
+
 def run_specs(
     specs: Iterable[RunSpec],
     n_jobs: int = 1,
@@ -258,12 +280,15 @@ def run_specs(
     force: bool = False,
     progress: Callable[[str], None] | None = None,
 ) -> list[RunResult]:
-    """Run a batch of specs, sharded over worker processes.
+    """Run a batch of specs as a dependency graph over worker processes.
 
     Parameters
     ----------
     specs :
         Jobs to run; duplicates are computed once and share the result.
+        Implicit inputs (the workload traces of ``sim`` / ``penalties``
+        jobs) are scheduled automatically when the store lacks them —
+        traces first, dependents fanned out once they are published.
     n_jobs :
         Worker processes.  ``1`` runs everything in-process (serial
         fallback, no pool); results are bit-identical either way because
@@ -271,7 +296,8 @@ def run_specs(
     store :
         Result store (default: ``REPRO_CACHE_DIR`` / ``~/.cache/repro``).
     force :
-        Recompute even when the store already holds a result.
+        Recompute even when the store already holds a result (submitted
+        specs only; implicit inputs still resolve against the store).
     progress :
         Optional callback receiving one human-readable line per event.
 
@@ -284,26 +310,44 @@ def run_specs(
     if n_jobs < 1:
         raise ValueError("n_jobs must be >= 1")
     store = store or default_store()
-    unique, missing = plan_specs(specs, store)
+    plan = build_plan(specs, store, force=force)
     if force:
-        missing = list(unique)
-        _forget_traces(missing, store)
+        _forget_traces(
+            [node.spec for node in plan.submitted() if node.pending], store
+        )
     say = progress or (lambda line: None)
-    say(
-        f"{len(specs)} submitted: {len(unique)} unique, "
-        f"{len(unique) - len(missing)} in store, {len(missing)} to compute"
+    counts = plan.counts()
+    implicit = counts["implicit_compute"]
+    extra = (
+        f" (+{implicit} trace input{'s' if implicit != 1 else ''})"
+        if implicit
+        else ""
     )
-    if missing:
-        if n_jobs == 1 or len(missing) == 1:
-            for spec in missing:
-                store.put_result(
-                    execute(spec, store),
-                    overwrite=force and spec.kind != "trace",
-                )
-                say(f"computed {spec.label()}")
-        else:
-            shards = shard_specs(missing, n_jobs)
-            with ProcessPoolExecutor(max_workers=len(shards)) as pool:
+    say(
+        f"{len(specs)} submitted: {counts['submitted']} unique, "
+        f"{counts['stored']} in store, {counts['compute']} to compute{extra}"
+    )
+    pending_total = counts["compute"] + counts["implicit_compute"]
+    pool = (
+        ProcessPoolExecutor(max_workers=n_jobs)
+        if n_jobs > 1 and pending_total > 1
+        else None
+    )
+    try:
+        for depth, layer in enumerate(plan.layers):
+            _verify_inputs(layer, plan, store)
+            layer_specs = [plan.node(key).spec for key in layer]
+            if len(plan.layers) > 1:
+                say(f"layer {depth}: {len(layer_specs)} jobs")
+            if pool is None or len(layer_specs) == 1:
+                for spec in layer_specs:
+                    store.put_result(
+                        execute(spec, store),
+                        overwrite=force and spec.kind != "trace",
+                    )
+                    say(f"computed {spec.label()}")
+            else:
+                shards = shard_specs(layer_specs, n_jobs)
                 futures = {
                     pool.submit(
                         _run_shard,
@@ -319,11 +363,13 @@ def run_specs(
                         f"shard {futures[future]} finished "
                         f"({len(done)} specs)"
                     )
+    finally:
+        if pool is not None:
+            pool.shutdown()
     by_key: dict[str, RunResult] = {}
-    for spec in unique:
-        key = spec.key()
-        result = store.get_result(key)
+    for node in plan.submitted():
+        result = store.get_result(node.key)
         if result is None:  # pragma: no cover - store corruption guard
-            result = run_spec(spec, store)
-        by_key[key] = result
+            result = run_spec(node.spec, store)
+        by_key[node.key] = result
     return [by_key[spec.key()] for spec in specs]

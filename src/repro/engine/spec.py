@@ -50,12 +50,36 @@ Params = tuple[tuple[str, Any], ...]
 
 
 def _accepts_seed(app: str) -> bool:
-    """Whether the kernel's constructor has a ``seed`` parameter."""
-    return "seed" in inspect.signature(APPLICATIONS[app].__init__).parameters
+    """Whether the kernel factory has a ``seed`` parameter.
+
+    Works for classes (the signature is ``__init__``'s) and plain
+    factory callables alike.
+    """
+    try:
+        signature = inspect.signature(APPLICATIONS[app])
+    except (TypeError, ValueError):  # pragma: no cover - exotic factories
+        return True  # cannot introspect: let the factory decide
+    return "seed" in signature.parameters
+
+
+def _app_ndim(app: str) -> int:
+    """Spatial dimensionality a registered kernel factory declares."""
+    ndim = getattr(APPLICATIONS[app], "ndim", None)
+    if ndim is None:
+        raise ValueError(
+            f"application {app!r}: the registered factory must expose an "
+            f"'ndim' attribute (ShadowApplication subclasses do)"
+        )
+    return int(ndim)
 
 
 def _normalize_pairs(value: Mapping | Params | None) -> Params:
-    """Canonicalize a params mapping into a sorted tuple of pairs."""
+    """Canonicalize a params mapping into a key-sorted tuple of pairs.
+
+    The sort key is the parameter *name* only, so heterogeneous values
+    (which Python refuses to order) can never raise ``TypeError`` during
+    canonicalization.
+    """
     if value is None:
         return ()
     if isinstance(value, MachineModel):
@@ -67,7 +91,7 @@ def _normalize_pairs(value: Mapping | Params | None) -> Params:
     for k, _ in items:
         if not isinstance(k, str):
             raise TypeError(f"param names must be strings, got {k!r}")
-    return tuple(sorted((k, v) for k, v in items))
+    return tuple(sorted(items, key=lambda pair: pair[0]))
 
 
 @dataclass(frozen=True)
@@ -125,8 +149,9 @@ class RunSpec:
                 f"unknown application {self.app!r}; "
                 f"choose from {tuple(sorted(APPLICATIONS))}"
             )
-        if self.scale not in ("paper", "small"):
-            raise ValueError(f"scale must be 'paper' or 'small', got {self.scale!r}")
+        from .components import validate_scale
+
+        validate_scale(self.scale)
         if self.nprocs < 1:
             raise ValueError("nprocs must be >= 1")
         if self.ghost_width < 0:
@@ -138,7 +163,7 @@ class RunSpec:
         object.__setattr__(self, "params", _normalize_pairs(self.params))
         if not isinstance(self.machine, str):
             object.__setattr__(self, "machine", _normalize_pairs(self.machine))
-        ndim = APPLICATIONS[self.app].ndim
+        ndim = _app_ndim(self.app)
         if self.ndim not in (0, ndim):
             raise ValueError(
                 f"ndim={self.ndim} contradicts {self.app!r} (ndim={ndim})"
@@ -149,7 +174,7 @@ class RunSpec:
                 f"{self.app!r} has no seed parameter; omit the seed override"
             )
         if self.kind == "sim":
-            from .registry import is_schedule, validate_partitioner
+            from .components import is_schedule, validate_partitioner
 
             validate_partitioner(self.partitioner)
             if self.params and is_schedule(self.partitioner):
@@ -158,11 +183,28 @@ class RunSpec:
                     f"no constructor params"
                 )
 
+    # -- dependencies ------------------------------------------------------
+    def inputs(self) -> tuple["RunSpec", ...]:
+        """Prerequisite specs this job consumes (the spec graph's edges).
+
+        A ``sim`` or ``penalties`` job replays the workload trace of its
+        ``(app, scale, seed)``; the trace spec — and therefore its
+        content hash — is the explicit input edge the DAG executor
+        resolves against the store before the job is scheduled.
+        """
+        if self.kind == "trace":
+            return ()
+        return (trace_spec(self.app, self.scale, seed=self.seed),)
+
+    def input_keys(self) -> tuple[str, ...]:
+        """Content hashes of :meth:`inputs` (store keys of prerequisites)."""
+        return tuple(spec.key() for spec in self.inputs())
+
     # -- hashing -----------------------------------------------------------
     def _machine_payload(self) -> dict:
-        from .registry import make_machine
+        from .components import resolve_machine
 
-        return asdict(make_machine(self.machine))
+        return asdict(resolve_machine(self.machine))
 
     def _trace_payload(self) -> dict:
         # Lazy: repro.experiments imports the engine at module scope; the
@@ -272,7 +314,7 @@ def sim_spec(
     nprocs: int = 16,
     partitioner: str = "nature+fable",
     params: Mapping | Params | None = None,
-    machine: str | Mapping | Params = "cluster-2003",
+    machine: str | Mapping | Params | MachineModel = "cluster-2003",
     seed: int | None = None,
     ghost_width: int = 1,
 ) -> RunSpec:
@@ -297,7 +339,7 @@ def penalties_spec(
     scale: str = "paper",
     *,
     nprocs: int = 16,
-    machine: str | Mapping | Params = "cluster-2003",
+    machine: str | Mapping | Params | MachineModel = "cluster-2003",
     migration_denominator: str = "current",
     seed: int | None = None,
     ghost_width: int = 1,

@@ -20,6 +20,7 @@ from __future__ import annotations
 import json
 import os
 import shutil
+import time
 from pathlib import Path
 from typing import Iterator
 
@@ -139,6 +140,13 @@ class ResultStore:
         except (FileNotFoundError, json.JSONDecodeError):
             return None
 
+    def _touch(self, key: str) -> None:
+        """Refresh an entry's mtime (recency signal for LRU eviction)."""
+        try:
+            os.utime(self.entry_dir(key) / _META)
+        except OSError:  # pragma: no cover - racing remover / readonly store
+            pass
+
     def get_result(self, spec_or_key: RunSpec | str) -> RunResult | None:
         """Load a stored :class:`RunResult`, or ``None`` on a miss."""
         key = (
@@ -147,6 +155,7 @@ class ResultStore:
         doc = self.load_meta(key)
         if doc is None:
             return None
+        self._touch(key)
         spec = RunSpec.from_json(doc["spec"])
         arrays: dict[str, np.ndarray] = {}
         series = self.entry_dir(key) / _SERIES
@@ -163,6 +172,7 @@ class ResultStore:
         path = self.entry_dir(key) / _TRACE
         if not path.is_file():
             return None
+        self._touch(key)
         return Trace.load(path)
 
     def remove(self, key: str) -> bool:
@@ -200,3 +210,48 @@ class ResultStore:
             removed += 1
         shutil.rmtree(self._tmp, ignore_errors=True)
         return removed
+
+    def gc(
+        self,
+        max_bytes: int | None = None,
+        older_than_seconds: float | None = None,
+        now: float | None = None,
+    ) -> tuple[int, int]:
+        """Evict entries by age and size budget; returns ``(count, bytes)``.
+
+        Two policies, applied in order:
+
+        * ``older_than_seconds`` — drop every entry whose mtime is older
+          than the cutoff, regardless of the size budget;
+        * ``max_bytes`` — while the store exceeds the budget, evict the
+          least-recently-used entries (mtime order; reads refresh mtime,
+          so warm-store hits keep their entries alive).
+
+        Entries are content-addressed, so eviction is always safe: a
+        future sweep that needs an evicted artifact recomputes it.
+        """
+        if max_bytes is not None and max_bytes < 0:
+            raise ValueError("max_bytes must be >= 0")
+        if older_than_seconds is not None and older_than_seconds < 0:
+            raise ValueError("older_than_seconds must be >= 0")
+        docs = sorted(self.entries(), key=lambda d: d["mtime"])  # LRU first
+        now = time.time() if now is None else now
+        removed, freed = 0, 0
+        if older_than_seconds is not None:
+            cutoff = now - older_than_seconds
+            expired = [d for d in docs if d["mtime"] < cutoff]
+            docs = [d for d in docs if d["mtime"] >= cutoff]
+            for doc in expired:
+                if self.remove(doc["key"]):
+                    removed += 1
+                    freed += doc["nbytes"]
+        if max_bytes is not None:
+            total = sum(d["nbytes"] for d in docs)
+            for doc in docs:
+                if total <= max_bytes:
+                    break
+                if self.remove(doc["key"]):
+                    removed += 1
+                    freed += doc["nbytes"]
+                    total -= doc["nbytes"]
+        return removed, freed

@@ -24,12 +24,14 @@ from __future__ import annotations
 
 import numpy as np
 
-from ..engine import penalties_spec, run_spec, run_specs, sim_spec
-from ..engine.registry import (
-    MACHINE_NAMES,
+from ..engine import (
     STATIC_SUITE,
-    make_machine,
-    make_partitioner,
+    create,
+    penalties_spec,
+    registry,
+    run_spec,
+    run_specs,
+    sim_spec,
 )
 from ..model import communication_penalty
 from ..simulator import MachineModel
@@ -100,7 +102,7 @@ def ablation_surface(
 
 def static_partitioner_suite() -> dict[str, object]:
     """The static P choices compared against the meta-partitioner."""
-    return {name: make_partitioner(name) for name in STATIC_SUITE}
+    return {name: create("partitioner", name) for name in STATIC_SUITE}
 
 
 def machine_scenarios() -> dict[str, MachineModel]:
@@ -111,7 +113,7 @@ def machine_scenarios() -> dict[str, MachineModel]:
     compute-bound one — which is exactly why a static P "seriously
     inhibits the potential for increasing scalability" (section 3).
     """
-    return {name: make_machine(name) for name in MACHINE_NAMES}
+    return {name: create("machine", name) for name in registry("machine")}
 
 
 def meta_vs_static(

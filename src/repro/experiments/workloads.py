@@ -22,12 +22,14 @@ from functools import lru_cache
 from pathlib import Path
 
 from ..apps import APPLICATIONS, TraceGenConfig, generate_trace, make_application
+from ..registry import register, registry
 from ..trace import Trace
 
 __all__ = [
     "APP_NAMES",
     "APP_NAMES_3D",
     "ALL_APP_NAMES",
+    "app_names",
     "paper_config",
     "paper_trace",
     "all_paper_traces",
@@ -39,31 +41,76 @@ __all__ = [
 APP_NAMES: tuple[str, ...] = ("rm2d", "bl2d", "sc2d", "tp2d")
 """The paper's 2-D application suite, in Figures 4-7 order."""
 
-APP_NAMES_3D: tuple[str, ...] = tuple(
-    sorted(name for name, cls in APPLICATIONS.items() if cls.ndim == 3)
-)
-"""The 3-D workloads (derived from the kernel registry)."""
+
+def app_names(ndim: int | None = None) -> tuple[str, ...]:
+    """Registered workload names (live; optionally one dimensionality).
+
+    2-D keeps the paper's canonical Figures 4-7 order first, with any
+    further registered 2-D kernels (plugins, runtime registrations)
+    appended sorted; other dimensionalities are sorted throughout.
+    """
+    if ndim is None:
+        dims = sorted(
+            {
+                dim
+                for cls in APPLICATIONS.values()
+                if (dim := getattr(cls, "ndim", None)) is not None
+            }
+        )
+        out: list[str] = []
+        for dim in dims:
+            out.extend(app_names(dim))
+        return tuple(out)
+    registered = [
+        name
+        for name, cls in APPLICATIONS.items()
+        if getattr(cls, "ndim", None) == ndim
+    ]
+    if ndim == 2:
+        extras = sorted(name for name in registered if name not in APP_NAMES)
+        return APP_NAMES + tuple(extras)
+    return tuple(sorted(registered))
+
+
+APP_NAMES_3D: tuple[str, ...] = app_names(3)
+"""The 3-D workloads (snapshot of the kernel registry at import)."""
 
 ALL_APP_NAMES: tuple[str, ...] = APP_NAMES + APP_NAMES_3D
-"""Every registered workload."""
+"""Every registered workload (snapshot; ``app_names()`` is live)."""
 
 
-def _check_scale(scale: str) -> None:
-    if scale not in ("paper", "small"):
-        raise ValueError(f"scale must be 'paper' or 'small', got {scale!r}")
+# -- workload scales (registered components, extensible like the rest) -----
 
-
-def paper_config(scale: str = "paper", ndim: int = 2) -> TraceGenConfig:
-    """Trace-generation parameters at the requested scale and dimension."""
-    _check_scale(scale)
+@register(
+    "scale",
+    "paper",
+    description="the paper's setup: 5 levels / 100 steps (3-D: 16^3, 4 levels)",
+)
+def _paper_scale(ndim: int = 2) -> TraceGenConfig:
     if ndim == 2:
-        if scale == "paper":
-            return TraceGenConfig(
-                base_shape=(64, 64),
-                max_levels=5,
-                nsteps=100,
-                regrid_interval=4,
-            )
+        return TraceGenConfig(
+            base_shape=(64, 64),
+            max_levels=5,
+            nsteps=100,
+            regrid_interval=4,
+        )
+    if ndim == 3:
+        return TraceGenConfig(
+            base_shape=(16, 16, 16),
+            max_levels=4,
+            nsteps=40,
+            regrid_interval=4,
+        )
+    raise ValueError(f"no canonical workload config for ndim={ndim}")
+
+
+@register(
+    "scale",
+    "small",
+    description="fast variant for unit tests and CI benchmarks",
+)
+def _small_scale(ndim: int = 2) -> TraceGenConfig:
+    if ndim == 2:
         return TraceGenConfig(
             base_shape=(16, 16),
             max_levels=3,
@@ -71,13 +118,6 @@ def paper_config(scale: str = "paper", ndim: int = 2) -> TraceGenConfig:
             regrid_interval=4,
         )
     if ndim == 3:
-        if scale == "paper":
-            return TraceGenConfig(
-                base_shape=(16, 16, 16),
-                max_levels=4,
-                nsteps=40,
-                regrid_interval=4,
-            )
         return TraceGenConfig(
             base_shape=(8, 8, 8),
             max_levels=3,
@@ -87,22 +127,53 @@ def paper_config(scale: str = "paper", ndim: int = 2) -> TraceGenConfig:
     raise ValueError(f"no canonical workload config for ndim={ndim}")
 
 
+def _check_scale(scale: str) -> None:
+    scales = registry("scale")
+    if scale not in scales:
+        raise ValueError(
+            f"unknown workload scale {scale!r}; choose from {tuple(scales)}"
+        )
+
+
+def paper_config(scale: str = "paper", ndim: int = 2) -> TraceGenConfig:
+    """Trace-generation parameters at the requested scale and dimension."""
+    # create() validates the name itself (same message as _check_scale).
+    return registry("scale").create(scale, ndim=ndim)
+
+
+#: Shadow-grid cells per base-grid cell along each axis (all scales).
+SHADOW_FACTOR = 4
+
+
 def shadow_shape(scale: str, ndim: int) -> tuple[int, ...]:
-    """Shadow-grid resolution of the canonical workloads."""
-    _check_scale(scale)
-    if ndim == 2:
-        return (256, 256) if scale == "paper" else (64, 64)
-    return (64, 64, 64) if scale == "paper" else (32, 32, 32)
+    """Shadow-grid resolution of the canonical workloads.
+
+    Derived from the scale's base grid (``SHADOW_FACTOR`` x per axis) so
+    scales registered through the component registry get a consistent
+    kernel resolution instead of silently falling back to the built-in
+    small one.  For the built-in scales this reproduces the historical
+    values exactly (2-D: 256^2 paper / 64^2 small; 3-D: 64^3 / 32^3),
+    keeping every content hash stable.
+    """
+    config = paper_config(scale, ndim)
+    return tuple(SHADOW_FACTOR * extent for extent in config.base_shape)
 
 
 def workload_ndim(name: str) -> int:
     """Spatial dimensionality of a registered workload (from its kernel)."""
     try:
-        return APPLICATIONS[name].ndim
+        factory = APPLICATIONS[name]
     except KeyError:
         raise ValueError(
             f"unknown application {name!r}; choose from {tuple(sorted(APPLICATIONS))}"
         ) from None
+    ndim = getattr(factory, "ndim", None)
+    if ndim is None:
+        raise ValueError(
+            f"application {name!r}: the registered factory must expose an "
+            f"'ndim' attribute (ShadowApplication subclasses do)"
+        )
+    return int(ndim)
 
 
 def _generate(name: str, scale: str, seed: int | None) -> Trace:

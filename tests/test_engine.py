@@ -82,11 +82,11 @@ class TestSpecHash:
     def test_named_machine_hashes_like_explicit_params(self):
         from dataclasses import asdict
 
-        from repro.engine import make_machine
+        from repro.engine import resolve_machine
 
         named = sim_spec("bl2d", "small", machine="net-starved")
         explicit = sim_spec(
-            "bl2d", "small", machine=asdict(make_machine("net-starved"))
+            "bl2d", "small", machine=asdict(resolve_machine("net-starved"))
         )
         assert named.key() == explicit.key()
 
@@ -226,7 +226,11 @@ class TestExecutor:
         monkeypatch.setattr(executor_module, "execute", counting_execute)
         results = run_specs(specs, n_jobs=1, store=store)  # resumed sweep
         assert len(results) == len(specs)
-        assert computed == [s.label() for s in specs[2:]]
+        # The DAG schedules the missing tp2d trace first (its own layer),
+        # then the two missing sims; the bl2d half resolves in the store.
+        assert computed == ["trace:tp2d:small"] + [
+            s.label() for s in specs[2:]
+        ]
 
     def test_plan_specs(self, tmp_path):
         store = ResultStore(tmp_path / "store")
