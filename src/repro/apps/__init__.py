@@ -10,11 +10,12 @@ Trace name    Kernel                                      Behaviour
 ``tp3d``      3-D transport benchmark (this repo)         seemingly random
 ``bl3d``      3-D Buckley--Leverett oil-water flow        oscillatory
 ``sc3d``      3-D Scalarwave numerical relativity         oscillatory
+``rm3d``      3-D Richtmyer--Meshkov instability          seemingly random
 ============  ==========================================  ==================
 
 The first four are the paper's single-processor traces (section 5.1.1);
 the 3-D kernels extend the suite to the hierarchies production SAMR
-codes actually run.
+codes actually run — one 3-D analogue per 2-D family (tp/bl/sc/rm).
 
 Every kernel registers itself with the unified component registry
 (``@register("app", name)`` in its own module), so :data:`APPLICATIONS`
@@ -28,6 +29,7 @@ from .base import ShadowApplication, TraceGenConfig, build_hierarchy, generate_t
 from .bl2d import BuckleyLeverett2D, fractional_flow
 from .bl3d import BuckleyLeverett3D
 from .rm2d import RichtmyerMeshkov2D
+from .rm3d import RichtmyerMeshkov3D
 from .sc2d import ScalarWave2D
 from .sc3d import ScalarWave3D
 from .tp2d import Transport2D
@@ -42,6 +44,7 @@ __all__ = [
     "BuckleyLeverett3D",
     "fractional_flow",
     "RichtmyerMeshkov2D",
+    "RichtmyerMeshkov3D",
     "ScalarWave2D",
     "ScalarWave3D",
     "Transport2D",

@@ -208,9 +208,14 @@ def build_hierarchy(
     parent_boxes = BoxList([domain])
     for l in range(1, config.max_levels):
         shape = config.level_shape(l)
-        level_ind = _resample(indicator, shape, reduce="max")
         tau = min(0.95, config.flag_threshold * config.threshold_growth ** (l - 1))
-        flags = level_ind > tau
+        # Threshold at the shadow resolution, then resample the *boolean*:
+        # ``max(block) > tau == any(block > tau)`` and upsampling commutes
+        # with the comparison, so this is bit-identical to resampling the
+        # float indicator first — without ever materializing a
+        # full-level-resolution float array (at paper-scale 3-D the
+        # finest level is 512^3: a gigabyte as float64, 1/8th as bool).
+        flags = _resample(indicator > tau, shape, reduce="any")
         if config.buffer_width:
             # Constant *physical* buffer width: scale by the level's ratio
             # relative to level 1.

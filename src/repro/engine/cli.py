@@ -434,9 +434,14 @@ def _cmd_cache(args) -> int:
         removed, freed = store.gc(
             max_bytes=args.max_bytes, older_than_seconds=args.older_than
         )
+        kept = list(store.entries())
+        remaining = sum(doc["nbytes"] for doc in kept)
         print(
-            f"evicted {removed} entries ({freed / 1e6:.1f} MB) "
+            f"evicted {removed} entries ({freed / 1e6:.1f} MB reclaimed) "
             f"from {store.root}"
+        )
+        print(
+            f"store now holds {len(kept)} entries, {remaining / 1e6:.1f} MB"
         )
         return 0
     entries = list(store.entries())

@@ -1,0 +1,528 @@
+"""Sparse, patch-aligned owner maps: the rasterless distribution calculus.
+
+An :class:`OwnerMap` represents one level of a distribution as an
+``(nboxes, 2*ndim)`` int64 corner array (``[lo..., hi...]`` per row, boxes
+pairwise disjoint) plus an int32 owning rank per box.  It replaces the
+dense per-level owner rasters of the original simulator core: every
+quantity the execution simulator reports — per-rank loads, ghost-exchange
+faces, message pairs, inter-level transfers, migration — is computable
+from corner arithmetic alone, so simulator cost scales with the number of
+patches (O(boxes^2) pair sweeps) instead of the volume of the finest index
+space (O(cells) reductions).  That is what makes true paper-scale 3-D
+hierarchies (32^3 base, 5 levels of factor-2 refinement — a 512^3 finest
+index space) tractable: the densest level raster alone would be half a
+gigabyte per distribution, while its owner map is a few thousand corner
+rows.
+
+The dense raster representation remains available through
+:meth:`OwnerMap.rasterize` / :meth:`OwnerMap.from_raster` and is used as a
+cross-check (property tests assert sparse == dense on random N-D
+hierarchies); equality of owner maps is *semantic* — two maps are equal
+when they assign the same rank to the same cells, regardless of how the
+region is cut into boxes — so ``from_raster(rasterize(m)) == m`` always
+holds.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator, Sequence
+
+import numpy as np
+
+from .box import Box
+from .raster import NO_OWNER, boxes_from_labels, paint_box
+
+__all__ = [
+    "OwnerMap",
+    "box_corners",
+    "corner_volumes",
+    "pair_intersections",
+    "intersect_corners",
+    "face_contacts",
+    "matched_volume",
+    "overlap_volume",
+    "overlay_corners",
+    "subtract_corners",
+    "prefix_corners",
+    "first_cells_in_scan_order",
+]
+
+#: Row budget of one broadcasted (chunk, nboxes) pair sweep (~128 MB of
+#: int64 per spatial dimension).  Keeps worst-case pair kernels bounded in
+#: memory no matter how fragmented a distribution gets.
+_PAIR_CHUNK_CELLS = 16_000_000
+
+
+def box_corners(boxes: Iterable[Box], ndim: int | None = None) -> np.ndarray:
+    """Stack boxes into an ``(n, 2*ndim)`` int64 corner array."""
+    rows = [tuple(b.lo) + tuple(b.hi) for b in boxes]
+    if not rows:
+        if ndim is None:
+            raise ValueError("cannot infer ndim from an empty box sequence")
+        return np.empty((0, 2 * ndim), dtype=np.int64)
+    out = np.asarray(rows, dtype=np.int64)
+    if ndim is not None and out.shape[1] != 2 * ndim:
+        raise ValueError(
+            f"expected {ndim}-d boxes, got corner rows of width {out.shape[1]}"
+        )
+    return out
+
+
+def corner_volumes(corners: np.ndarray) -> np.ndarray:
+    """Cell count of every corner row (int64, shape ``(n,)``)."""
+    ndim = corners.shape[1] // 2
+    widths = corners[:, ndim:] - corners[:, :ndim]
+    return np.prod(widths, axis=1, dtype=np.int64)
+
+
+def _chunks(n_a: int, n_b: int) -> Iterator[slice]:
+    """Slices over the first operand keeping each broadcast bounded."""
+    if n_a == 0 or n_b == 0:
+        return
+    step = max(1, _PAIR_CHUNK_CELLS // max(1, n_b))
+    for start in range(0, n_a, step):
+        yield slice(start, min(start + step, n_a))
+
+
+def pair_intersections(
+    a: np.ndarray, b: np.ndarray
+) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """All non-empty pairwise intersections of two corner arrays.
+
+    Returns ``(corners, ai, bj)``: the intersection corner rows plus the
+    source row index into ``a`` and ``b`` for each (so callers can carry
+    ranks or other per-box payloads through the intersection).
+    """
+    ndim = a.shape[1] // 2
+    out_c: list[np.ndarray] = []
+    out_i: list[np.ndarray] = []
+    out_j: list[np.ndarray] = []
+    for sl in _chunks(a.shape[0], b.shape[0]):
+        lo = np.maximum(a[sl, None, :ndim], b[None, :, :ndim])
+        hi = np.minimum(a[sl, None, ndim:], b[None, :, ndim:])
+        nonempty = (hi > lo).all(axis=2)
+        if not nonempty.any():
+            continue
+        ii, jj = np.nonzero(nonempty)
+        out_c.append(np.concatenate((lo[ii, jj], hi[ii, jj]), axis=1))
+        out_i.append(ii + sl.start)
+        out_j.append(jj)
+    if not out_c:
+        empty = np.empty(0, dtype=np.int64)
+        return np.empty((0, 2 * ndim), dtype=np.int64), empty, empty
+    return (
+        np.concatenate(out_c),
+        np.concatenate(out_i),
+        np.concatenate(out_j),
+    )
+
+
+def overlap_volume(a: np.ndarray, b: np.ndarray) -> int:
+    """``sum_ij |a_i ∩ b_j|`` over two corner arrays (rank-agnostic)."""
+    ndim = a.shape[1] // 2
+    total = 0
+    for sl in _chunks(a.shape[0], b.shape[0]):
+        lo = np.maximum(a[sl, None, :ndim], b[None, :, :ndim])
+        hi = np.minimum(a[sl, None, ndim:], b[None, :, ndim:])
+        width = np.clip(hi - lo, 0, None)
+        vol = width[..., 0]
+        for d in range(1, ndim):
+            vol = vol * width[..., d]
+        total += int(vol.sum())
+    return total
+
+
+def intersect_corners(corners: np.ndarray, clip: np.ndarray) -> np.ndarray:
+    """Clip one corner array against a single corner row; drop empties."""
+    ndim = corners.shape[1] // 2
+    lo = np.maximum(corners[:, :ndim], clip[:ndim])
+    hi = np.minimum(corners[:, ndim:], clip[ndim:])
+    keep = (hi > lo).all(axis=1)
+    return np.concatenate((lo[keep], hi[keep]), axis=1)
+
+
+def matched_volume(
+    a: np.ndarray,
+    a_ranks: np.ndarray,
+    b: np.ndarray,
+    b_ranks: np.ndarray,
+) -> int:
+    """``sum |a_i ∩ b_j|`` over pairs with *equal* ranks.
+
+    Grouped by rank before the pair sweep, so the broadcast never touches
+    cross-rank pairs — the common case (P rank groups of similar size)
+    costs ~1/P of the full pair product.
+    """
+    if a.shape[0] == 0 or b.shape[0] == 0:
+        return 0
+    total = 0
+    common = np.intersect1d(np.unique(a_ranks), np.unique(b_ranks))
+    for rank in common:
+        total += overlap_volume(a[a_ranks == rank], b[b_ranks == rank])
+    return total
+
+
+def face_contacts(
+    corners: np.ndarray, ranks: np.ndarray
+) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Abutting-face areas between boxes owned by *different* ranks.
+
+    For every ordered pair ``(i, j)`` with ``hi_i[d] == lo_j[d]`` along
+    some axis ``d`` and overlapping extents in every other axis, emits one
+    entry ``(ranks[i], ranks[j], shared face area)``.  Each geometric face
+    between two boxes appears exactly once (two disjoint boxes can abut
+    along at most one axis with positive cross-section).  This is the
+    sparse counterpart of counting unequal-owner cell faces on a raster.
+    """
+    n = corners.shape[0]
+    ndim = corners.shape[1] // 2
+    lo = corners[:, :ndim]
+    hi = corners[:, ndim:]
+    out_a: list[np.ndarray] = []
+    out_b: list[np.ndarray] = []
+    out_area: list[np.ndarray] = []
+    for d in range(ndim):
+        for sl in _chunks(n, n):
+            contact = hi[sl, None, d] == lo[None, :, d]
+            contact &= ranks[sl, None] != ranks[None, :]
+            if not contact.any():
+                continue
+            ii, jj = np.nonzero(contact)
+            ii += sl.start
+            area = np.ones(ii.size, dtype=np.int64)
+            for e in range(ndim):
+                if e == d:
+                    continue
+                width = np.minimum(hi[ii, e], hi[jj, e]) - np.maximum(
+                    lo[ii, e], lo[jj, e]
+                )
+                area *= np.clip(width, 0, None)
+            keep = area > 0
+            if keep.any():
+                out_a.append(ranks[ii[keep]])
+                out_b.append(ranks[jj[keep]])
+                out_area.append(area[keep])
+    if not out_a:
+        empty32 = np.empty(0, dtype=np.int32)
+        return empty32, empty32, np.empty(0, dtype=np.int64)
+    return (
+        np.concatenate(out_a),
+        np.concatenate(out_b),
+        np.concatenate(out_area),
+    )
+
+
+def subtract_corners(base: np.ndarray, holes: np.ndarray) -> np.ndarray:
+    """Corner rows of ``union(base) \\ union(holes)`` (``base`` disjoint).
+
+    The hole sweep touches only holes that actually intersect a base row
+    (one vectorized candidate pass), so sparse overlap stays cheap even
+    for large operands.
+    """
+    ndim = base.shape[1] // 2
+    if base.shape[0] == 0 or holes.shape[0] == 0:
+        return base.copy()
+    _, bi, hj = pair_intersections(base, holes)
+    if bi.size == 0:
+        return base.copy()
+    untouched = np.setdiff1d(np.arange(base.shape[0]), np.unique(bi))
+    out: list[np.ndarray] = [base[untouched]]
+    order = np.argsort(bi, kind="stable")
+    bi, hj = bi[order], hj[order]
+    starts = np.flatnonzero(np.diff(bi, prepend=-1))
+    for s, e in zip(starts, np.append(starts[1:], bi.size)):
+        row = base[bi[s]]
+        frags = [Box(tuple(row[:ndim]), tuple(row[ndim:]))]
+        for hole_row in holes[hj[s:e]]:
+            hole = Box(tuple(hole_row[:ndim]), tuple(hole_row[ndim:]))
+            nxt: list[Box] = []
+            for frag in frags:
+                nxt.extend(frag.subtract(hole))
+            frags = nxt
+            if not frags:
+                break
+        if frags:
+            out.append(box_corners(frags, ndim))
+    return np.concatenate(out) if out else np.empty((0, 2 * ndim), np.int64)
+
+
+def overlay_corners(
+    top: np.ndarray,
+    top_ranks: np.ndarray,
+    bottom: np.ndarray,
+    bottom_ranks: np.ndarray,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Compose two disjoint-box layers; ``top`` wins where both cover.
+
+    Returns corner rows and ranks of the union region: every ``top`` box
+    verbatim plus the fragments of ``bottom`` boxes outside ``top``.
+    """
+    ndim = top.shape[1] // 2
+    if bottom.shape[0] == 0:
+        return top.copy(), top_ranks.copy()
+    if top.shape[0] == 0:
+        return bottom.copy(), bottom_ranks.copy()
+    out_c: list[np.ndarray] = [top]
+    out_r: list[np.ndarray] = [top_ranks]
+    _, bi, tj = pair_intersections(bottom, top)
+    covered = np.unique(bi) if bi.size else np.empty(0, dtype=np.int64)
+    clear = np.setdiff1d(np.arange(bottom.shape[0]), covered)
+    out_c.append(bottom[clear])
+    out_r.append(bottom_ranks[clear])
+    if bi.size:
+        order = np.argsort(bi, kind="stable")
+        bi, tj = bi[order], tj[order]
+        starts = np.flatnonzero(np.diff(bi, prepend=-1))
+        for s, e in zip(starts, np.append(starts[1:], bi.size)):
+            frags = subtract_corners(bottom[bi[s]][None, :], top[tj[s:e]])
+            if frags.shape[0]:
+                out_c.append(frags)
+                out_r.append(
+                    np.full(frags.shape[0], bottom_ranks[bi[s]], np.int32)
+                )
+    return np.concatenate(out_c), np.concatenate(out_r)
+
+
+def prefix_corners(shape: Sequence[int], count: int) -> np.ndarray:
+    """The first ``count`` cells of a row-major grid as <= ndim boxes.
+
+    The region ``{cells with flat C-order index < count}`` decomposes into
+    at most one box per dimension (full slabs, then partial rows of the
+    boundary cell's mixed-radix digits).
+    """
+    shape = tuple(int(s) for s in shape)
+    ndim = len(shape)
+    total = int(np.prod(shape, dtype=np.int64))
+    count = max(0, min(int(count), total))
+    if count == 0:
+        return np.empty((0, 2 * ndim), dtype=np.int64)
+    if count == total:
+        row = [0] * ndim + list(shape)
+        return np.asarray([row], dtype=np.int64)
+    digits = []
+    rem = count
+    for s in reversed(shape):
+        digits.append(rem % s)
+        rem //= s
+    digits.reverse()  # mixed-radix representation of `count`
+    rows: list[list[int]] = []
+    for d in range(ndim):
+        if digits[d] == 0:
+            continue
+        lo = [digits[e] for e in range(d)] + [0] * (ndim - d)
+        hi = [digits[e] + 1 for e in range(d)]
+        hi.append(digits[d])
+        hi.extend(shape[d + 1 :])
+        rows.append(lo + hi)
+    return np.asarray(rows, dtype=np.int64)
+
+
+def first_cells_in_scan_order(
+    corners: np.ndarray, shape: Sequence[int], k: int
+) -> tuple[np.ndarray, np.ndarray]:
+    """The first ``k`` cells (row-major) of a region, as corner rows.
+
+    ``corners`` must be internally disjoint.  Binary-searches the flat
+    scan index whose prefix contains exactly ``k`` region cells, then
+    clips the region against that prefix — the sparse equivalent of
+    ``np.flatnonzero(mask)[:k]`` on a raster, without the raster.
+
+    Returns ``(chosen, source)``: the covering corner rows plus, for
+    each, the row index of the input box it was cut from (so callers can
+    carry per-box payloads such as destination ranks).
+    """
+    if k <= 0 or corners.shape[0] == 0:
+        empty = np.empty(0, dtype=np.int64)
+        return np.empty((0, corners.shape[1]), dtype=np.int64), empty
+    total = int(corner_volumes(corners).sum())
+    if k >= total:
+        return corners.copy(), np.arange(corners.shape[0], dtype=np.int64)
+    lo_t, hi_t = 0, int(np.prod(tuple(shape), dtype=np.int64))
+    while lo_t < hi_t:  # smallest t with |region ∩ prefix(t)| >= k
+        mid = (lo_t + hi_t) // 2
+        if overlap_volume(corners, prefix_corners(shape, mid)) >= k:
+            hi_t = mid
+        else:
+            lo_t = mid + 1
+    chosen, src, _ = pair_intersections(corners, prefix_corners(shape, lo_t))
+    return chosen, src
+
+
+class OwnerMap:
+    """One level's distribution as disjoint owned boxes with ranks.
+
+    Parameters
+    ----------
+    shape :
+        Extents of the level's index space (the domain ``[0, shape)``).
+    corners :
+        ``(nboxes, 2*ndim)`` int64 rows ``[lo..., hi...]``; boxes must be
+        non-empty, inside the domain and pairwise disjoint (the latter is
+        the caller's responsibility, as with :class:`~repro.geometry.BoxList`;
+        :meth:`validate_disjoint` checks it explicitly).
+    ranks :
+        Owning rank per box (coerced to int32, must be ``>= 0``).
+    """
+
+    __slots__ = ("shape", "corners", "ranks")
+
+    def __init__(
+        self,
+        shape: Sequence[int],
+        corners: np.ndarray,
+        ranks: np.ndarray | Sequence[int],
+    ) -> None:
+        self.shape = tuple(int(s) for s in shape)
+        ndim = len(self.shape)
+        if ndim < 1 or any(s < 1 for s in self.shape):
+            raise ValueError(f"owner-map shape must be positive, got {shape}")
+        corners = np.ascontiguousarray(corners, dtype=np.int64)
+        if corners.ndim != 2 or corners.shape[1] != 2 * ndim:
+            raise ValueError(
+                f"corners must be (nboxes, {2 * ndim}) for a {ndim}-d map, "
+                f"got {corners.shape}"
+            )
+        ranks = np.ascontiguousarray(ranks, dtype=np.int32)
+        if ranks.shape != (corners.shape[0],):
+            raise ValueError(
+                f"ranks shape {ranks.shape} does not match "
+                f"{corners.shape[0]} boxes"
+            )
+        if corners.shape[0]:
+            lo = corners[:, :ndim]
+            hi = corners[:, ndim:]
+            if (hi <= lo).any():
+                raise ValueError("owner-map boxes must be non-empty")
+            if (lo < 0).any() or (hi > np.asarray(self.shape)).any():
+                raise ValueError("owner-map boxes must lie inside the domain")
+            if (ranks < 0).any():
+                raise ValueError("owner ranks must be >= 0")
+        self.corners = corners
+        self.ranks = ranks
+
+    # -- construction ------------------------------------------------------
+    @staticmethod
+    def empty(shape: Sequence[int]) -> "OwnerMap":
+        """A map owning no cells."""
+        ndim = len(tuple(shape))
+        return OwnerMap(
+            shape,
+            np.empty((0, 2 * ndim), dtype=np.int64),
+            np.empty(0, dtype=np.int32),
+        )
+
+    @staticmethod
+    def from_assignments(
+        assignments: Iterable[tuple[Box, int]], domain: Box
+    ) -> "OwnerMap":
+        """Build from ``(box, rank)`` pairs over an origin-anchored domain."""
+        if any(l != 0 for l in domain.lo):
+            raise ValueError("owner-map domains must be anchored at the origin")
+        rows: list[tuple[int, ...]] = []
+        ranks: list[int] = []
+        for box, rank in assignments:
+            if rank < 0:
+                raise ValueError(f"owner ranks must be >= 0, got {rank}")
+            clipped = box.intersect(domain)
+            if clipped is None:
+                continue
+            rows.append(tuple(clipped.lo) + tuple(clipped.hi))
+            ranks.append(int(rank))
+        return OwnerMap(
+            domain.shape,
+            np.asarray(rows, dtype=np.int64).reshape(len(rows), 2 * domain.ndim),
+            np.asarray(ranks, dtype=np.int32),
+        )
+
+    @staticmethod
+    def from_raster(raster: np.ndarray) -> "OwnerMap":
+        """Decompose a dense owner raster (``NO_OWNER`` background)."""
+        boxes, values = boxes_from_labels(raster, background=NO_OWNER)
+        return OwnerMap(
+            raster.shape,
+            box_corners(boxes, raster.ndim),
+            np.asarray(values, dtype=np.int32),
+        )
+
+    # -- queries -----------------------------------------------------------
+    @property
+    def ndim(self) -> int:
+        """Spatial dimensionality."""
+        return len(self.shape)
+
+    @property
+    def nboxes(self) -> int:
+        """Number of owned boxes."""
+        return self.corners.shape[0]
+
+    @property
+    def ncells(self) -> int:
+        """Total owned cells."""
+        return int(corner_volumes(self.corners).sum())
+
+    def boxes(self) -> Iterator[tuple[Box, int]]:
+        """Iterate ``(box, rank)`` pairs."""
+        ndim = self.ndim
+        for row, rank in zip(self.corners, self.ranks):
+            yield Box(tuple(row[:ndim]), tuple(row[ndim:])), int(rank)
+
+    def rank_cell_counts(self, nprocs: int) -> np.ndarray:
+        """Owned cells per rank (int64, length ``nprocs``)."""
+        counts = np.zeros(nprocs, dtype=np.int64)
+        if self.nboxes:
+            np.add.at(counts, self.ranks, corner_volumes(self.corners))
+        return counts
+
+    def validate_disjoint(self) -> None:
+        """Raise ``ValueError`` if any two owned boxes overlap."""
+        if self.nboxes < 2:
+            return
+        _, ii, jj = pair_intersections(self.corners, self.corners)
+        if (ii != jj).any():
+            a, b = ii[ii != jj][0], jj[ii != jj][0]
+            raise ValueError(
+                f"overlapping owner boxes: rows {int(a)} and {int(b)}"
+            )
+
+    # -- transforms --------------------------------------------------------
+    def refine(self, ratio: int) -> "OwnerMap":
+        """Map to the index space refined by ``ratio``."""
+        if ratio < 1:
+            raise ValueError(f"refinement ratio must be >= 1, got {ratio}")
+        return OwnerMap(
+            tuple(s * ratio for s in self.shape),
+            self.corners * ratio,
+            self.ranks,
+        )
+
+    def rasterize(self) -> np.ndarray:
+        """Dense int32 owner raster (``NO_OWNER`` outside owned boxes)."""
+        out = np.full(self.shape, NO_OWNER, dtype=np.int32)
+        for box, rank in self.boxes():
+            paint_box(out, box, rank)
+        return out
+
+    # -- comparison --------------------------------------------------------
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, OwnerMap):
+            return NotImplemented
+        if self.shape != other.shape:
+            return False
+        mine = self.ncells
+        if mine != other.ncells:
+            return False
+        # Same cells, same ranks: every owned cell must land in an
+        # equal-rank box of the other map (both internally disjoint).
+        return (
+            matched_volume(self.corners, self.ranks, other.corners, other.ranks)
+            == mine
+        )
+
+    def __hash__(self) -> int:  # semantic equality forbids structural hash
+        return hash((self.shape, self.ncells))
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"OwnerMap(shape={self.shape}, {self.nboxes} boxes, "
+            f"{self.ncells} cells)"
+        )

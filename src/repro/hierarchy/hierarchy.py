@@ -12,7 +12,7 @@ from typing import Iterator, Sequence
 
 import numpy as np
 
-from ..geometry import Box, BoxList, rasterize_mask
+from ..geometry import Box, BoxList, paint_box, rasterize_mask
 from .level import PatchLevel
 
 __all__ = ["GridHierarchy"]
@@ -122,7 +122,13 @@ class GridHierarchy:
 
     # -- masks --------------------------------------------------------------
     def level_mask(self, level_index: int) -> np.ndarray:
-        """Boolean raster of the refined region of a level (its index space)."""
+        """Boolean raster of the refined region of a level (its index space).
+
+        Dense view — it scales with the level's index-space *volume*, so
+        the partitioners, penalties and simulator metrics all work from
+        the patch boxes directly (sparse box calculus) and this raster is
+        only used for visualization and cross-checks at small scales.
+        """
         return rasterize_mask(
             self.levels[level_index].patches, self.level_domain(level_index)
         )
@@ -140,8 +146,6 @@ class GridHierarchy:
         ratio = self.cumulative_ratio(1)
         coarse = BoxList(self.levels[1].patches).coarsen(ratio)
         for box in coarse:
-            from ..geometry.raster import paint_box
-
             paint_box(mask, box, True)  # type: ignore[arg-type]
         return mask
 

@@ -1,11 +1,17 @@
 """Partitioner interfaces and the distribution container.
 
 A partitioner maps a :class:`~repro.hierarchy.GridHierarchy` onto ``P``
-processors.  Distributions are represented as per-level *owner rasters*:
-dense ``int32`` arrays over each level's index space holding the owning
-rank for refined cells and :data:`~repro.geometry.NO_OWNER` elsewhere.
-Rasters keep every downstream metric (load, ghost communication,
-migration) a vectorized numpy reduction.
+processors.  Distributions are represented as per-level *owner maps*
+(:class:`~repro.geometry.OwnerMap`): sparse, patch-aligned corner arrays
+with an owning rank per box.  Every downstream metric (load, ghost
+communication, migration) is vectorized box calculus over those corner
+arrays, so simulator cost scales with patch counts rather than with the
+volume of the finest index space.
+
+Dense per-level owner rasters — the original representation — remain
+available through :meth:`PartitionResult.rasters` (and the deprecated
+:attr:`PartitionResult.owners` shim, which rasterizes lazily); they are
+kept as a cross-check path and for visualization, not for the hot path.
 
 The P of the paper's PAC-triple is a :class:`Partitioner` instance; its
 parameters are what the meta-partitioner tunes at run time.
@@ -14,11 +20,11 @@ parameters are what the meta-partitioner tunes at run time.
 from __future__ import annotations
 
 import abc
-from dataclasses import dataclass
+import warnings
 
 import numpy as np
 
-from ..geometry import NO_OWNER
+from ..geometry import OwnerMap, intersection_volume
 from ..hierarchy import GridHierarchy
 
 __all__ = ["PartitionResult", "Partitioner", "level_weights", "proc_loads"]
@@ -29,72 +35,135 @@ def level_weights(hierarchy: GridHierarchy) -> list[int]:
     return [level.time_refinement_weight() for level in hierarchy]
 
 
-@dataclass(frozen=True)
 class PartitionResult:
     """A distribution of one hierarchy over ``nprocs`` ranks.
 
     Parameters
     ----------
-    owners :
-        One raster per level; shape equals the level's index space, values
-        in ``{NO_OWNER} ∪ [0, nprocs)``, with exactly the refined cells
-        owned.
+    maps :
+        One :class:`~repro.geometry.OwnerMap` per level; its shape equals
+        the level's index space and its boxes cover exactly the refined
+        cells, with ranks in ``[0, nprocs)``.
     nprocs :
         Number of processors.
     partition_seconds :
         Modeled cost of computing this distribution (consumed by the
         dimension-II speed-vs-quality trade-off).
+    owners :
+        .. deprecated:: 0.5
+            Legacy constructor input: dense int32 per-level owner rasters
+            (``NO_OWNER`` outside the refined region).  Converted to owner
+            maps on construction; pass ``maps`` instead.
     """
 
-    owners: tuple[np.ndarray, ...]
-    nprocs: int
-    partition_seconds: float = 0.0
+    __slots__ = ("maps", "nprocs", "partition_seconds", "_rasters")
 
-    def __post_init__(self) -> None:
-        if self.nprocs < 1:
+    def __init__(
+        self,
+        maps: tuple[OwnerMap, ...] | None = None,
+        nprocs: int = 1,
+        partition_seconds: float = 0.0,
+        *,
+        owners: tuple[np.ndarray, ...] | None = None,
+    ) -> None:
+        if nprocs < 1:
             raise ValueError("nprocs must be >= 1")
-        object.__setattr__(self, "owners", tuple(self.owners))
-        for raster in self.owners:
-            if raster.dtype != np.int32:
-                raise ValueError("owner rasters must be int32")
+        if (maps is None) == (owners is None):
+            raise ValueError("pass exactly one of maps= or owners=")
+        rasters: tuple[np.ndarray, ...] | None = None
+        if owners is not None:
+            rasters = tuple(owners)
+            for raster in rasters:
+                if raster.dtype != np.int32:
+                    raise ValueError("owner rasters must be int32")
+            maps = tuple(OwnerMap.from_raster(r) for r in rasters)
+        else:
+            maps = tuple(maps)  # type: ignore[arg-type]
+            for m in maps:
+                if not isinstance(m, OwnerMap):
+                    raise TypeError(
+                        f"maps must contain OwnerMap instances, got {type(m)!r}"
+                    )
+        self.maps = maps
+        self.nprocs = int(nprocs)
+        self.partition_seconds = float(partition_seconds)
+        self._rasters = rasters
 
     @property
     def nlevels(self) -> int:
-        """Number of level rasters."""
-        return len(self.owners)
+        """Number of level maps."""
+        return len(self.maps)
 
+    # -- dense views -------------------------------------------------------
+    def rasters(self) -> tuple[np.ndarray, ...]:
+        """Dense int32 owner rasters of every level (computed lazily).
+
+        The raster view is the cross-check representation: it can be
+        orders of magnitude larger than the owner maps (it scales with the
+        index-space volume), so the simulator never touches it.  Results
+        constructed from legacy rasters return the original arrays.
+        """
+        if self._rasters is None:
+            self._rasters = tuple(m.rasterize() for m in self.maps)
+        return self._rasters
+
+    @property
+    def owners(self) -> tuple[np.ndarray, ...]:
+        """Deprecated dense view; use :attr:`maps` or :meth:`rasters`."""
+        warnings.warn(
+            "PartitionResult.owners is deprecated: distributions are sparse "
+            "OwnerMaps now; use .maps for the sparse form or .rasters() for "
+            "an explicit dense conversion",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        return self.rasters()
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        cells = sum(m.ncells for m in self.maps)
+        return (
+            f"PartitionResult({self.nlevels} levels, {cells} cells, "
+            f"P={self.nprocs})"
+        )
+
+    # -- invariants --------------------------------------------------------
     def validate(self, hierarchy: GridHierarchy) -> None:
         """Check the distribution is complete and consistent.
 
-        Every refined cell of every level must be owned by a valid rank and
-        no unrefined cell may be owned.
+        Every refined cell of every level must be owned by a valid rank
+        and no unrefined cell may be owned.
         """
         if self.nlevels != hierarchy.nlevels:
             raise ValueError(
                 f"{self.nlevels} rasters for {hierarchy.nlevels} levels"
             )
         for level in hierarchy:
-            raster = self.owners[level.index]
+            m = self.maps[level.index]
             expected_shape = hierarchy.level_domain(level.index).shape
-            if raster.shape != expected_shape:
+            if m.shape != expected_shape:
                 raise ValueError(
-                    f"level {level.index} raster shape {raster.shape} != "
+                    f"level {level.index} raster shape {m.shape} != "
                     f"domain {expected_shape}"
                 )
-            mask = hierarchy.level_mask(level.index)
-            owned = raster != NO_OWNER
-            if not (owned == mask).all():
-                missing = int((mask & ~owned).sum())
-                extra = int((owned & ~mask).sum())
+            m.validate_disjoint()
+            owned = m.ncells
+            refined = level.ncells
+            covered = intersection_volume(
+                [b for b, _ in m.boxes()], level.patches.boxes
+            )
+            missing = refined - covered
+            extra = owned - covered
+            if missing or extra:
                 raise ValueError(
                     f"level {level.index}: {missing} refined cells unowned, "
                     f"{extra} unrefined cells owned"
                 )
-            if owned.any():
-                vals = raster[owned]
+            if m.nboxes:
+                vals = m.ranks
                 if vals.min() < 0 or vals.max() >= self.nprocs:
                     raise ValueError(
-                        f"level {level.index}: owner ranks outside [0, {self.nprocs})"
+                        f"level {level.index}: owner ranks outside "
+                        f"[0, {self.nprocs})"
                     )
 
     def loads(self, hierarchy: GridHierarchy) -> np.ndarray:
@@ -105,10 +174,9 @@ class PartitionResult:
 def proc_loads(result: PartitionResult, hierarchy: GridHierarchy) -> np.ndarray:
     """Per-rank workload of a distribution: ``sum_l w_l * cells_l(rank)``."""
     loads = np.zeros(result.nprocs, dtype=np.float64)
-    for level, raster in zip(hierarchy, result.owners):
-        owned = raster[raster != NO_OWNER]
-        if owned.size:
-            counts = np.bincount(owned, minlength=result.nprocs)
+    for level, m in zip(hierarchy, result.maps):
+        if m.nboxes:
+            counts = m.rank_cell_counts(result.nprocs)
             loads += counts * float(level.time_refinement_weight())
     return loads
 

@@ -10,15 +10,24 @@ deep, localized hierarchies ("bad cuts").
 
 Implementation: atomic units are ``unit_size``-sided blocks of base cells
 (squares in 2-D, cubes in 3-D, ...) ordered along a space-filling curve;
-unit weights are the exact column workloads (vectorized block reductions
-over the level masks); chains-on-chains splits the 1-D sequence.
+unit weights are the exact column workloads, accumulated *sparsely* from
+the patch boxes (per-patch block-overlap volumes — no fine-level rasters
+are ever materialized, so paper-scale 3-D hierarchies stay cheap);
+chains-on-chains splits the 1-D sequence and the per-level owner maps are
+the unit blocks refined to each level and clipped against its patches.
 """
 
 from __future__ import annotations
 
 import numpy as np
 
-from ..geometry import NO_OWNER, block_sum, upsample
+from ..geometry import (
+    OwnerMap,
+    add_box_overlap,
+    box_corners,
+    boxes_from_labels,
+    pair_intersections,
+)
 from ..hierarchy import GridHierarchy
 from ..sfc import sfc_order_nd
 from .base import PartitionResult, Partitioner
@@ -35,7 +44,9 @@ def column_workloads(
     The weight of a unit is ``sum_l w_l * (refined cells of level l above
     the unit)`` with ``w_l`` the time-refinement weight — exactly the work
     a rank inherits by owning that piece of the domain.  Works for any
-    spatial dimensionality of the hierarchy.
+    spatial dimensionality of the hierarchy.  Computed patch by patch via
+    block-overlap volumes (all integer-valued, so the float accumulation
+    is exact and identical to the dense ``block_sum`` of the level masks).
     """
     base_shape = hierarchy.domain.shape
     if any(s % unit_size for s in base_shape):
@@ -45,11 +56,11 @@ def column_workloads(
     unit_shape = tuple(s // unit_size for s in base_shape)
     weights = np.zeros(unit_shape, dtype=np.float64)
     for level in hierarchy:
-        mask = hierarchy.level_mask(level.index)
         ratio = hierarchy.cumulative_ratio(level.index)
         block = unit_size * ratio  # fine cells per unit per axis
-        counts = block_sum(mask, block, dtype=np.int64)
-        weights += counts * float(level.time_refinement_weight())
+        w = float(level.time_refinement_weight())
+        for patch in level.patches:
+            add_box_overlap(weights, patch, block, w)
     return weights
 
 
@@ -118,17 +129,28 @@ class DomainSfcPartitioner(Partitioner):
         unit_owner = np.empty(weights.size, dtype=np.int32)
         unit_owner[order] = seq_ranks
         unit_owner = unit_owner.reshape(unit_shape)
-        # Expand unit owners to the base grid, then to each level.
-        base_owner = upsample(unit_owner, self.unit_size)
-        rasters = []
+        # Sparse expansion: unit blocks -> rank boxes -> clip per level.
+        unit_boxes, unit_ranks = boxes_from_labels(unit_owner)
+        unit_corners = box_corners(unit_boxes, hierarchy.ndim)
+        unit_ranks = np.asarray(unit_ranks, dtype=np.int32)
+        maps = []
         for level in hierarchy:
-            ratio = hierarchy.cumulative_ratio(level.index)
-            fine_owner = upsample(base_owner, ratio)
-            mask = hierarchy.level_mask(level.index)
-            raster = np.where(mask, fine_owner, np.int32(NO_OWNER)).astype(np.int32)
-            rasters.append(raster)
+            scale = self.unit_size * hierarchy.cumulative_ratio(level.index)
+            patch_corners = box_corners(
+                level.patches.boxes, hierarchy.ndim
+            )
+            corners, ai, _ = pair_intersections(
+                unit_corners * scale, patch_corners
+            )
+            maps.append(
+                OwnerMap(
+                    hierarchy.level_domain(level.index).shape,
+                    corners,
+                    unit_ranks[ai],
+                )
+            )
         return PartitionResult(
-            owners=tuple(rasters),
+            maps=tuple(maps),
             nprocs=nprocs,
             partition_seconds=self.cost_seconds(hierarchy, nprocs),
         )

@@ -27,6 +27,14 @@ small atomic unit, select a large Q, choose fractional blocking"):
 ``atomic_unit`` (block side), ``q`` (chunks per rank in the coarse
 assignment; ``q > 1`` trades locality for balance via LPT over chunks) and
 ``fractional_blocking`` (cell-granularity boundary blocks).
+
+Representation: only base-grid and atomic-unit-resolution arrays are ever
+materialized.  Bi-level block weights are accumulated patch by patch
+(exact integer-valued block-overlap volumes, identical to the dense
+``block_sum`` of the level masks), and the per-level output is a sparse
+:class:`~repro.geometry.OwnerMap` — the unit blocks clipped against the
+level's patches inside the Core — so deep 3-D hierarchies never allocate
+a fine-level raster.
 """
 
 from __future__ import annotations
@@ -37,7 +45,16 @@ from dataclasses import dataclass
 import numpy as np
 from scipy import ndimage
 
-from ..geometry import NO_OWNER, block_sum, upsample
+from ..geometry import (
+    Box,
+    NO_OWNER,
+    OwnerMap,
+    add_box_overlap,
+    box_corners,
+    boxes_from_labels,
+    boxes_from_mask,
+    pair_intersections,
+)
 from ..hierarchy import GridHierarchy
 from ..sfc import sfc_order_nd
 from .base import PartitionResult, Partitioner
@@ -159,9 +176,10 @@ class NaturePlusFable(Partitioner):
         nprocs: int,
         previous: PartitionResult | None = None,
     ) -> PartitionResult:
-        rasters = [
-            np.full(hierarchy.level_domain(l).shape, NO_OWNER, dtype=np.int32)
-            for l in range(hierarchy.nlevels)
+        ndim = hierarchy.ndim
+        # Per-level accumulators of (corner rows, ranks) assignment pieces.
+        parts: list[list[tuple[np.ndarray, np.ndarray]]] = [
+            [] for _ in range(hierarchy.nlevels)
         ]
         # --- 1. Hue/Core separation -----------------------------------
         refined = hierarchy.refined_mask_on_base()
@@ -181,23 +199,37 @@ class NaturePlusFable(Partitioner):
         # --- 3+4. Blocking within each meta-partition -------------------
         for (kind, mask, _), ranks in zip(regions, groups):
             if kind == "hue":
-                self._block_hue(hierarchy, mask, ranks, rasters)
+                self._block_hue(mask, ranks, parts)
             else:
-                self._block_core(hierarchy, mask, ranks, rasters)
+                self._block_core(hierarchy, mask, ranks, parts)
+        maps = []
+        for l in range(hierarchy.nlevels):
+            shape = hierarchy.level_domain(l).shape
+            if parts[l]:
+                corners = np.concatenate([c for c, _ in parts[l]])
+                ranks_arr = np.concatenate([r for _, r in parts[l]])
+                maps.append(OwnerMap(shape, corners, ranks_arr))
+            else:
+                maps.append(OwnerMap.empty(shape))
         return PartitionResult(
-            owners=tuple(rasters),
+            maps=tuple(maps),
             nprocs=nprocs,
             partition_seconds=self.cost_seconds(hierarchy, nprocs),
         )
 
     # ------------------------------------------------------------------
     def _column_work(self, hierarchy: GridHierarchy) -> np.ndarray:
-        """Workload of the refinement column above each base cell."""
+        """Workload of the refinement column above each base cell.
+
+        Accumulated patch by patch (integer-valued overlap volumes — exact
+        in float64, identical to the dense mask ``block_sum``).
+        """
         work = np.zeros(hierarchy.domain.shape, dtype=np.float64)
         for level in hierarchy:
-            mask = hierarchy.level_mask(level.index)
             ratio = hierarchy.cumulative_ratio(level.index)
-            work += block_sum(mask, ratio) * float(level.time_refinement_weight())
+            w = float(level.time_refinement_weight())
+            for patch in level.patches:
+                add_box_overlap(work, patch, ratio, w)
         return work
 
     @staticmethod
@@ -240,75 +272,101 @@ class NaturePlusFable(Partitioner):
 
     def _block_hue(
         self,
-        hierarchy: GridHierarchy,
         mask: np.ndarray,
         ranks: np.ndarray,
-        rasters: list[np.ndarray],
+        parts: list[list[tuple[np.ndarray, np.ndarray]]],
     ) -> None:
-        """Expert blocking of the unrefined base-grid remainder (level 0)."""
-        owner = self._block_region(mask.astype(np.float64), mask, ranks, unit=1)
-        rasters[0][mask] = owner[mask]
+        """Expert blocking of the unrefined base-grid remainder (level 0).
+
+        The hue lives at base-grid resolution, so the dense blocking path
+        is cheap; the owner raster is lifted into sparse boxes afterwards.
+        """
+        unit_w = np.where(mask, 1.0, 0.0)
+        owner = self._assign_units(unit_w, ranks)
+        hue_owner = np.where(mask, owner, np.int32(NO_OWNER))
+        boxes, values = boxes_from_labels(hue_owner)
+        if boxes:
+            parts[0].append(
+                (
+                    box_corners(boxes, mask.ndim),
+                    np.asarray(values, dtype=np.int32),
+                )
+            )
 
     def _block_core(
         self,
         hierarchy: GridHierarchy,
         core_mask: np.ndarray,
         ranks: np.ndarray,
-        rasters: list[np.ndarray],
+        parts: list[list[tuple[np.ndarray, np.ndarray]]],
     ) -> None:
-        """Bi-level blocking of one Core region."""
+        """Bi-level blocking of one Core region, rasterless.
+
+        Per bi-level, the atomic-unit weight grid (at the bi-level's
+        coarse resolution divided by the unit side) is accumulated from
+        the member levels' patches clipped to the Core; units are
+        SFC-assigned exactly as the dense path did, and each member
+        level's owner map is the unit blocks refined to the level and
+        clipped against its in-Core patches.
+        """
         p = self.params
+        ndim = core_mask.ndim
         nlev = hierarchy.nlevels
+        core_corners = box_corners(boxes_from_mask(core_mask), ndim)
         for lc in range(0, nlev, p.bilevel_size):
             lf_range = range(lc, min(lc + p.bilevel_size, nlev))
             coarse_ratio = hierarchy.cumulative_ratio(lc)
             coarse_shape = tuple(s * coarse_ratio for s in core_mask.shape)
-            core_at_lc = upsample(core_mask, coarse_ratio)
-            # Combined weight raster at the bi-level's coarse resolution.
-            weight = np.zeros(coarse_shape, dtype=np.float64)
-            present = np.zeros(coarse_shape, dtype=bool)
-            for lf in lf_range:
-                mask = hierarchy.level_mask(lf)
-                sub = hierarchy.cumulative_ratio(lf) // coarse_ratio
-                counts = block_sum(mask, sub)
-                weight += counts * float(
-                    hierarchy[lf].time_refinement_weight()
-                )
-                present |= counts > 0
-            present &= core_at_lc
-            if not present.any():
-                continue
-            weight = np.where(present, weight, 0.0)
             unit = 1 if p.fractional_blocking else p.atomic_unit
-            owner = self._block_region(weight, present, ranks, unit=unit)
+            unit_shape = tuple(-(-s // unit) for s in coarse_shape)
+            unit_w = np.zeros(unit_shape, dtype=np.float64)
+            clipped: dict[int, np.ndarray] = {}
+            for lf in lf_range:
+                sub = hierarchy.cumulative_ratio(lf) // coarse_ratio
+                patch_corners = box_corners(
+                    hierarchy[lf].patches.boxes, ndim
+                )
+                sect, _, _ = pair_intersections(
+                    patch_corners, core_corners * (coarse_ratio * sub)
+                )
+                clipped[lf] = sect
+                w = float(hierarchy[lf].time_refinement_weight())
+                block = unit * sub
+                for row in sect:
+                    add_box_overlap(
+                        unit_w,
+                        Box(tuple(row[:ndim]), tuple(row[ndim:])),
+                        block,
+                        w,
+                    )
+            if not (unit_w > 0).any():
+                continue
+            unit_owner = self._assign_units(unit_w, ranks)
+            unit_boxes, unit_values = boxes_from_labels(unit_owner)
+            unit_corners = box_corners(unit_boxes, ndim) * unit
+            unit_ranks = np.asarray(unit_values, dtype=np.int32)
             # Paint every member level of the bi-level from one decomposition.
             for lf in lf_range:
                 sub = hierarchy.cumulative_ratio(lf) // coarse_ratio
-                fine_owner = upsample(owner, sub)
-                mask = hierarchy.level_mask(lf)
-                core_at_lf = upsample(core_at_lc, sub)
-                sel = mask & core_at_lf
-                rasters[lf][sel] = fine_owner[sel]
+                sect, ai, _ = pair_intersections(
+                    unit_corners * sub, clipped[lf]
+                )
+                if sect.shape[0]:
+                    parts[lf].append((sect, unit_ranks[ai]))
 
-    def _block_region(
-        self,
-        weight: np.ndarray,
-        present: np.ndarray,
-        ranks: np.ndarray,
-        unit: int,
+    def _assign_units(
+        self, unit_w: np.ndarray, ranks: np.ndarray
     ) -> np.ndarray:
-        """SFC-ordered atomic-block assignment of one region.
+        """SFC-ordered assignment of non-empty atomic units to ranks.
 
-        Returns an owner raster over the full index space of ``weight``
-        (values meaningless outside ``present``).
+        Returns an owner raster over the unit grid (``NO_OWNER`` where the
+        unit carries no weight).  Every cell the bi-level must own lies in
+        a unit with positive weight, so no fallback pass is needed — the
+        weights are integer counts times positive level weights.
         """
         p = self.params
-        shape = weight.shape
-        unit_shape = tuple(-(-s // unit) for s in shape)
-        pad = [(0, u * unit - s) for u, s in zip(unit_shape, shape)]
-        wpad = np.pad(weight, pad)
-        unit_w = block_sum(wpad, unit)
-        coords = np.indices(unit_shape).reshape(len(shape), -1)
+        unit_shape = unit_w.shape
+        coords = np.indices(unit_shape).reshape(len(unit_shape), -1)
         nonzero = unit_w.ravel() > 0
         order_bits = max(1, int(np.ceil(np.log2(max(unit_shape)))))
         order = sfc_order_nd(
@@ -319,13 +377,4 @@ class NaturePlusFable(Partitioner):
         unit_owner = np.full(unit_w.size, NO_OWNER, dtype=np.int32)
         flat_idx = np.flatnonzero(nonzero)[order]
         unit_owner[flat_idx] = seq_rank
-        unit_owner = unit_owner.reshape(unit_shape)
-        owner = upsample(unit_owner, unit)
-        owner = owner[tuple(slice(0, s) for s in shape)]
-        # Cells in `present` whose unit had zero aggregate weight (possible
-        # when `present` marks presence but weights vanish) inherit the
-        # group's first rank.
-        fallback = present & (owner == NO_OWNER)
-        owner = owner.copy()
-        owner[fallback] = ranks[0]
-        return owner
+        return unit_owner.reshape(unit_shape)

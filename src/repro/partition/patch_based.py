@@ -23,7 +23,7 @@ import heapq
 
 import numpy as np
 
-from ..geometry import Box, NO_OWNER, rasterize_owners
+from ..geometry import Box, OwnerMap
 from ..hierarchy import GridHierarchy
 from .base import PartitionResult, Partitioner
 
@@ -111,13 +111,13 @@ class PatchBasedPartitioner(Partitioner):
         previous: PartitionResult | None = None,
     ) -> PartitionResult:
         """Distribute each level independently."""
-        rasters = []
+        maps = []
         for level in hierarchy:
             domain = hierarchy.level_domain(level.index)
             boxes = list(level.patches)
             w = float(level.time_refinement_weight())
             if not boxes:
-                rasters.append(np.full(domain.shape, NO_OWNER, dtype=np.int32))
+                maps.append(OwnerMap.empty(domain.shape))
                 continue
             if self.strategy == "round-robin":
                 assignments = self._round_robin(boxes, nprocs)
@@ -126,9 +126,9 @@ class PatchBasedPartitioner(Partitioner):
                     boxes = self._maybe_split(boxes, w, nprocs)
                 weights = [b.ncells * w for b in boxes]
                 assignments = self._lpt(boxes, weights, nprocs)
-            rasters.append(rasterize_owners(assignments, domain))
+            maps.append(OwnerMap.from_assignments(assignments, domain))
         return PartitionResult(
-            owners=tuple(rasters),
+            maps=tuple(maps),
             nprocs=nprocs,
             partition_seconds=self.cost_seconds(hierarchy, nprocs),
         )

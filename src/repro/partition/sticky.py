@@ -23,15 +23,29 @@ With a zero budget it degenerates to pure ownership persistence; with an
 infinite budget and zero tolerance it converges to the inner partitioner's
 fresh answer.  The meta-partitioner moves along exactly this dial when
 dimension III says migration is (or is not) worth optimizing.
+
+All three steps are box calculus on sparse owner maps: persistence is an
+overlay (previous owners clipped to the new owned region, fresh owners
+beneath), and the diffusion pass picks the first ``take`` movable cells
+in row-major scan order by binary-searching a scan-prefix region — the
+exact sparse counterpart of ``np.flatnonzero(movable)[:take]`` on a
+raster, bit-identical without materializing one.
 """
 
 from __future__ import annotations
 
 import numpy as np
 
-from ..geometry import NO_OWNER
+from ..geometry import (
+    OwnerMap,
+    corner_volumes,
+    first_cells_in_scan_order,
+    overlay_corners,
+    pair_intersections,
+    subtract_corners,
+)
 from ..hierarchy import GridHierarchy
-from .base import PartitionResult, Partitioner, proc_loads
+from .base import PartitionResult, Partitioner
 
 __all__ = ["StickyRepartitioner"]
 
@@ -88,37 +102,63 @@ class StickyRepartitioner(Partitioner):
         fresh = self.inner.partition(hierarchy, nprocs, previous)
         if previous is None or previous.nprocs != nprocs:
             return PartitionResult(
-                owners=fresh.owners,
+                maps=fresh.maps,
                 nprocs=nprocs,
                 partition_seconds=self.cost_seconds(hierarchy, nprocs),
             )
-        rasters: list[np.ndarray] = []
+        levels: list[list[np.ndarray]] = []
         prev_cells = 0
         for l in range(hierarchy.nlevels):
-            target = fresh.owners[l]
-            raster = target.copy()
+            target = fresh.maps[l]
+            corners, ranks = target.corners, target.ranks
             if l < previous.nlevels:
-                prev = previous.owners[l]
-                if prev.shape == raster.shape:
-                    persists = (prev != NO_OWNER) & (raster != NO_OWNER)
-                    raster[persists] = prev[persists]
-                    prev_cells += int((prev != NO_OWNER).sum())
-            rasters.append(raster)
-        result = PartitionResult(owners=tuple(rasters), nprocs=nprocs)
-        self._diffuse(result, fresh, hierarchy, prev_cells)
+                prev_m = previous.maps[l]
+                if prev_m.shape == target.shape:
+                    # Persisting cells (owned at t-1 and t) keep the
+                    # previous owner; the remainder keeps the fresh one.
+                    kept, pi, _ = pair_intersections(
+                        prev_m.corners, target.corners
+                    )
+                    corners, ranks = overlay_corners(
+                        kept, prev_m.ranks[pi], target.corners, target.ranks
+                    )
+                    prev_cells += prev_m.ncells
+            levels.append([corners, ranks])
+        self._diffuse(levels, fresh, hierarchy, prev_cells, nprocs)
+        maps = tuple(
+            OwnerMap(fresh.maps[l].shape, corners, ranks)
+            for l, (corners, ranks) in enumerate(levels)
+        )
         return PartitionResult(
-            owners=result.owners,
+            maps=maps,
             nprocs=nprocs,
             partition_seconds=self.cost_seconds(hierarchy, nprocs),
         )
 
     # ------------------------------------------------------------------
+    @staticmethod
+    def _loads(
+        levels: list[list[np.ndarray]],
+        hierarchy: GridHierarchy,
+        nprocs: int,
+    ) -> np.ndarray:
+        """Per-rank loads of the working distribution (same math as
+        :func:`~repro.partition.base.proc_loads`)."""
+        loads = np.zeros(nprocs, dtype=np.float64)
+        for level, (corners, ranks) in zip(hierarchy, levels):
+            if corners.shape[0]:
+                counts = np.zeros(nprocs, dtype=np.int64)
+                np.add.at(counts, ranks, corner_volumes(corners))
+                loads += counts * float(level.time_refinement_weight())
+        return loads
+
     def _diffuse(
         self,
-        result: PartitionResult,
+        levels: list[list[np.ndarray]],
         fresh: PartitionResult,
         hierarchy: GridHierarchy,
         prev_cells: int,
+        nprocs: int,
     ) -> None:
         """Bounded load diffusion towards the fresh target distribution."""
         budget = (
@@ -128,10 +168,10 @@ class StickyRepartitioner(Partitioner):
         )
         if budget == 0:
             return
-        loads = proc_loads(result, hierarchy)
+        loads = self._loads(levels, hierarchy, nprocs)
         moved = 0
         # Iterate overloaded ranks; move their cells towards the fresh owner.
-        for _ in range(8 * result.nprocs):
+        for _ in range(8 * nprocs):
             avg = loads.mean()
             if avg <= 0:
                 return
@@ -140,27 +180,45 @@ class StickyRepartitioner(Partitioner):
                 return
             progress = False
             for l in range(hierarchy.nlevels):
-                raster = result.owners[l]
-                target = fresh.owners[l]
+                corners, ranks = levels[l]
+                target = fresh.maps[l]
                 w = float(hierarchy[l].time_refinement_weight())
-                movable = (raster == worst) & (target != worst) & (target != NO_OWNER)
-                idx = np.flatnonzero(movable.ravel())
-                if idx.size == 0:
+                worst_sel = ranks == worst
+                away = target.ranks != worst
+                movable, _, tj = pair_intersections(
+                    corners[worst_sel], target.corners[away]
+                )
+                volume = int(corner_volumes(movable).sum())
+                if volume == 0:
                     continue
                 # How many cells bring `worst` back under tolerance?
                 excess = (loads[worst] - self.imbalance_tolerance * avg) / w
-                take = int(min(idx.size, max(1, np.ceil(excess))))
+                take = int(min(volume, max(1, np.ceil(excess))))
                 if budget is not None:
                     take = min(take, budget - moved)
                     if take <= 0:
                         return
-                chosen = idx[:take]
-                flat_r = raster.ravel()
-                flat_t = target.ravel()
-                dest = flat_t[chosen]
-                flat_r[chosen] = dest
-                counts = np.bincount(dest, minlength=result.nprocs)
-                loads += counts * w
+                # First `take` movable cells in row-major scan order —
+                # the sparse, bit-identical counterpart of the raster
+                # path's np.flatnonzero(movable)[:take].
+                chosen_c, src = first_cells_in_scan_order(
+                    movable, target.shape, take
+                )
+                chosen_r = target.ranks[away][tj][src]
+                dest_counts = np.zeros(nprocs, dtype=np.int64)
+                np.add.at(dest_counts, chosen_r, corner_volumes(chosen_c))
+                remaining = subtract_corners(corners[worst_sel], chosen_c)
+                levels[l] = [
+                    np.concatenate((corners[~worst_sel], remaining, chosen_c)),
+                    np.concatenate(
+                        (
+                            ranks[~worst_sel],
+                            np.full(remaining.shape[0], worst, np.int32),
+                            chosen_r,
+                        )
+                    ),
+                ]
+                loads += dest_counts * w
                 loads[worst] -= take * w
                 moved += take
                 progress = True

@@ -3,9 +3,11 @@
 from .machine import MachineModel
 from .raster_metrics import (
     ghost_exchange_cells,
+    ghost_face_stats,
     ghost_message_pairs,
     interlevel_transfer_cells,
     migration_cells,
+    migration_cells_dense,
     per_rank_comm_cells,
 )
 from .simulator import SimulationResult, StepMetrics, TraceSimulator
@@ -13,9 +15,11 @@ from .simulator import SimulationResult, StepMetrics, TraceSimulator
 __all__ = [
     "MachineModel",
     "ghost_exchange_cells",
+    "ghost_face_stats",
     "ghost_message_pairs",
     "interlevel_transfer_cells",
     "migration_cells",
+    "migration_cells_dense",
     "per_rank_comm_cells",
     "SimulationResult",
     "StepMetrics",

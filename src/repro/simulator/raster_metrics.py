@@ -1,30 +1,75 @@
-"""Vectorized per-distribution metrics on owner rasters.
+"""Vectorized per-distribution metrics: sparse box calculus + dense cross-check.
 
 Everything the execution simulator measures — ghost-cell exchange volume,
 parent-child (inter-level) transfer volume, data migration between
-consecutive distributions and per-rank loads — reduces to numpy
-comparisons on owner rasters.  These functions are the exact counterparts
-of the quantities the Rutgers trace-driven simulator reports (section
-5.1.3: "load balance, communication, data migration, and overheads").
+consecutive distributions and per-rank loads — is computed on sparse
+:class:`~repro.geometry.OwnerMap` corner arrays: face-adjacency sweeps
+between owner boxes for the ghost metrics, broadcasted corner
+intersections for inter-level transfer and migration.  Cost scales with
+patch counts (O(boxes^2) pair sweeps), not with the volume of the finest
+index space — which is what makes paper-scale 3-D runs tractable.
+
+Every public function also accepts the original dense owner rasters
+(int32 arrays, :data:`~repro.geometry.NO_OWNER` outside the refined
+region) and then runs the original numpy reductions.  The dense path is
+the cross-check: the property suite asserts sparse == dense on random
+N-D hierarchies, and :class:`~repro.simulator.TraceSimulator` can be
+built with ``cross_check=True`` to compare both on every step.
+
+These quantities are the exact counterparts of what the Rutgers
+trace-driven simulator reports (section 5.1.3: "load balance,
+communication, data migration, and overheads").
 """
 
 from __future__ import annotations
 
+from typing import TYPE_CHECKING
+
 import numpy as np
 
-from ..geometry import NO_OWNER, upsample
-from ..partition import PartitionResult
+from ..geometry import (
+    NO_OWNER,
+    OwnerMap,
+    face_contacts,
+    matched_volume,
+    overlap_volume,
+    overlay_corners,
+    upsample,
+)
+
+if TYPE_CHECKING:  # import cycle guard: repro.partition imports nothing
+    # from the simulator, but keep the reference annotation-only anyway.
+    from ..partition import PartitionResult
 
 __all__ = [
     "ghost_exchange_cells",
+    "ghost_face_stats",
     "ghost_message_pairs",
     "interlevel_transfer_cells",
     "migration_cells",
+    "migration_cells_dense",
     "per_rank_comm_cells",
 ]
 
 
-def ghost_exchange_cells(raster: np.ndarray, ghost_width: int = 1) -> int:
+def ghost_face_stats(owners: OwnerMap) -> tuple[int, int]:
+    """``(cut faces, distinct unordered rank pairs)`` of one level map.
+
+    One pair sweep serves both ghost metrics; the simulator uses this to
+    avoid running the O(boxes^2) face scan twice per level.
+    """
+    ra, rb, area = face_contacts(owners.corners, owners.ranks)
+    if area.size == 0:
+        return 0, 0
+    lo = np.minimum(ra, rb).astype(np.int64)
+    hi = np.maximum(ra, rb).astype(np.int64)
+    pairs = np.unique((lo << np.int64(32)) | hi).size
+    return int(area.sum()), int(pairs)
+
+
+def ghost_exchange_cells(
+    owners: OwnerMap | np.ndarray, ghost_width: int = 1
+) -> int:
     """Cells exchanged per local step across rank boundaries of one level.
 
     Every face between two refined cells with different owners moves
@@ -33,6 +78,10 @@ def ghost_exchange_cells(raster: np.ndarray, ghost_width: int = 1) -> int:
     """
     if ghost_width < 0:
         raise ValueError("ghost_width must be >= 0")
+    if isinstance(owners, OwnerMap):
+        faces, _ = ghost_face_stats(owners)
+        return 2 * ghost_width * faces
+    raster = owners
     total = 0
     for axis in range(raster.ndim):
         a = np.moveaxis(raster, axis, 0)[:-1]
@@ -42,16 +91,16 @@ def ghost_exchange_cells(raster: np.ndarray, ghost_width: int = 1) -> int:
     return 2 * ghost_width * total
 
 
-def ghost_message_pairs(raster: np.ndarray) -> int:
+def ghost_message_pairs(owners: OwnerMap | np.ndarray) -> int:
     """Distinct communicating (owner, owner) neighbour pairs of one level.
 
     Approximates the per-step message count of the ghost exchange (each
     adjacent rank pair exchanges one message per direction per step).
-
-    Fully vectorized: the unordered (owner, owner) pairs of each cut face
-    are packed into single int64 keys (``lo << 32 | hi``; ranks are int32)
-    and deduplicated with one ``np.unique`` over all axes.
     """
+    if isinstance(owners, OwnerMap):
+        _, pairs = ghost_face_stats(owners)
+        return 2 * pairs
+    raster = owners
     packed: list[np.ndarray] = []
     for axis in range(raster.ndim):
         a = np.moveaxis(raster, axis, 0)[:-1]
@@ -69,9 +118,16 @@ def ghost_message_pairs(raster: np.ndarray) -> int:
 
 
 def per_rank_comm_cells(
-    raster: np.ndarray, nprocs: int, ghost_width: int = 1
+    owners: OwnerMap | np.ndarray, nprocs: int, ghost_width: int = 1
 ) -> np.ndarray:
     """Ghost cells sent+received per rank per local step (one level)."""
+    if isinstance(owners, OwnerMap):
+        ra, rb, area = face_contacts(owners.corners, owners.ranks)
+        counts = np.zeros(nprocs, dtype=np.int64)
+        np.add.at(counts, ra, area)
+        np.add.at(counts, rb, area)
+        return counts * ghost_width
+    raster = owners
     counts = np.zeros(nprocs, dtype=np.int64)
     for axis in range(raster.ndim):
         a = np.moveaxis(raster, axis, 0)[:-1]
@@ -84,7 +140,7 @@ def per_rank_comm_cells(
 
 
 def interlevel_transfer_cells(
-    coarse: np.ndarray, fine: np.ndarray, ratio: int
+    coarse: OwnerMap | np.ndarray, fine: OwnerMap | np.ndarray, ratio: int
 ) -> int:
     """Fine cells whose parent coarse cell lives on a different rank.
 
@@ -94,6 +150,19 @@ def interlevel_transfer_cells(
     """
     if ratio < 1:
         raise ValueError("ratio must be >= 1")
+    if isinstance(coarse, OwnerMap) and isinstance(fine, OwnerMap):
+        expected = tuple(s * ratio for s in coarse.shape)
+        if fine.shape != expected:
+            raise ValueError(
+                f"fine shape {fine.shape} does not equal coarse "
+                f"{coarse.shape} x {ratio}"
+            )
+        parents = coarse.corners * ratio
+        both = overlap_volume(parents, fine.corners)
+        same = matched_volume(
+            parents, coarse.ranks, fine.corners, fine.ranks
+        )
+        return both - same
     expected = tuple(s * ratio for s in coarse.shape)
     if fine.shape != expected:
         raise ValueError(
@@ -104,7 +173,7 @@ def interlevel_transfer_cells(
     return int(mask.sum())
 
 
-def migration_cells(prev: PartitionResult, cur: PartitionResult) -> int:
+def migration_cells(prev: "PartitionResult", cur: "PartitionResult") -> int:
     """Redistribution traffic between two consecutive distributions.
 
     Berger--Colella regridding initializes every cell of the new hierarchy
@@ -120,18 +189,67 @@ def migration_cells(prev: PartitionResult, cur: PartitionResult) -> int:
     refinement fronts (their new cells dominate) and artificially cap
     migration at the hierarchy overlap; the data-source formulation avoids
     both.
+
+    Sparse evaluation: the per-level *source map* (previous owner where
+    the level persisted, else the refined ancestor source) is built by
+    overlaying owner maps, and the migrated count is the new level's
+    owned cells minus the rank-matched intersection volume with its
+    source map.
+    """
+    total = 0
+    src_c: np.ndarray | None = None
+    src_r: np.ndarray | None = None
+    src_shape: tuple[int, ...] | None = None
+    for l in range(cur.nlevels):
+        b = cur.maps[l]
+        if src_c is None:
+            if prev.maps[0].shape != b.shape:
+                raise ValueError(
+                    f"level 0 raster shapes differ: {prev.maps[0].shape} "
+                    f"vs {b.shape}"
+                )
+            src_c = prev.maps[0].corners
+            src_r = prev.maps[0].ranks
+            src_shape = b.shape
+        else:
+            ratio = b.shape[0] // src_shape[0] if src_shape[0] else 0
+            if ratio < 1 or b.shape != tuple(s * ratio for s in src_shape):
+                raise ValueError(
+                    f"level {l} shape {b.shape} not a multiple of level "
+                    f"{l - 1} shape {src_shape}"
+                )
+            src_c = src_c * ratio
+            src_shape = b.shape
+        if l < prev.nlevels:
+            pl = prev.maps[l]
+            if pl.shape != b.shape:
+                raise ValueError(
+                    f"level {l} raster shapes differ: {pl.shape} vs {b.shape}"
+                )
+            src_c, src_r = overlay_corners(pl.corners, pl.ranks, src_c, src_r)
+        total += b.ncells - matched_volume(src_c, src_r, b.corners, b.ranks)
+    return total
+
+
+def migration_cells_dense(
+    prev_rasters: tuple[np.ndarray, ...], cur_rasters: tuple[np.ndarray, ...]
+) -> int:
+    """Dense-raster reference implementation of :func:`migration_cells`.
+
+    Operates on the legacy per-level owner rasters; kept as the
+    cross-check for the sparse path (see the module docstring).
     """
     total = 0
     source: np.ndarray | None = None
-    for l in range(cur.nlevels):
-        b = cur.owners[l]
+    for l in range(len(cur_rasters)):
+        b = cur_rasters[l]
         if source is None:
-            if prev.owners[0].shape != b.shape:
+            if prev_rasters[0].shape != b.shape:
                 raise ValueError(
-                    f"level 0 raster shapes differ: {prev.owners[0].shape} "
+                    f"level 0 raster shapes differ: {prev_rasters[0].shape} "
                     f"vs {b.shape}"
                 )
-            src_l = prev.owners[0]
+            src_l = prev_rasters[0]
         else:
             ratio = b.shape[0] // source.shape[0] if source.shape[0] else 0
             if ratio < 1 or b.shape != tuple(s * ratio for s in source.shape):
@@ -140,8 +258,8 @@ def migration_cells(prev: PartitionResult, cur: PartitionResult) -> int:
                     f"{l - 1} shape {source.shape}"
                 )
             src_l = upsample(source, ratio)
-        if l < prev.nlevels:
-            pl = prev.owners[l]
+        if l < len(prev_rasters):
+            pl = prev_rasters[l]
             if pl.shape != b.shape:
                 raise ValueError(
                     f"level {l} raster shapes differ: {pl.shape} vs {b.shape}"

@@ -27,9 +27,11 @@ from ..trace import Trace
 from .machine import MachineModel
 from .raster_metrics import (
     ghost_exchange_cells,
+    ghost_face_stats,
     ghost_message_pairs,
     interlevel_transfer_cells,
     migration_cells,
+    migration_cells_dense,
 )
 
 __all__ = ["StepMetrics", "SimulationResult", "TraceSimulator"]
@@ -109,6 +111,11 @@ class TraceSimulator:
         Coarse time-steps executed between consecutive snapshots (the
         trace's regrid interval); scales the compute/communication phases
         of the execution-time model.
+    cross_check :
+        Recompute every metric on dense owner rasters as well and assert
+        agreement with the sparse box-calculus path.  Debug/test aid —
+        it materializes full-level rasters, so only use it at scales
+        where dense rasters are affordable.
     """
 
     def __init__(
@@ -116,6 +123,7 @@ class TraceSimulator:
         machine: MachineModel | None = None,
         ghost_width: int = 1,
         steps_per_snapshot: int = 4,
+        cross_check: bool = False,
     ) -> None:
         if ghost_width < 0:
             raise ValueError("ghost_width must be >= 0")
@@ -124,6 +132,7 @@ class TraceSimulator:
         self.machine = machine or MachineModel()
         self.ghost_width = ghost_width
         self.steps_per_snapshot = steps_per_snapshot
+        self.cross_check = cross_check
 
     # ------------------------------------------------------------------
     def measure_step(
@@ -140,18 +149,19 @@ class TraceSimulator:
         avg = loads.mean()
         imbalance = float(loads.max() / avg) if avg > 0 else 1.0
         # Communication: ghost exchange at every local step of every level
-        # plus parent-child transfers at every fine step.
+        # plus parent-child transfers at every fine step.  One face sweep
+        # per level serves both the volume and the message count.
         comm_point_steps = 0
         messages = 0.0
         for level in hierarchy:
             w = level.time_refinement_weight()
-            raster = result.owners[level.index]
-            comm_point_steps += ghost_exchange_cells(raster, self.ghost_width) * w
-            messages += ghost_message_pairs(raster) * w
+            faces, pairs = ghost_face_stats(result.maps[level.index])
+            comm_point_steps += 2 * self.ghost_width * faces * w
+            messages += 2 * pairs * w
         interlevel = 0
         for level in hierarchy.levels[1:]:
-            coarse = result.owners[level.index - 1]
-            fine = result.owners[level.index]
+            coarse = result.maps[level.index - 1]
+            fine = result.maps[level.index]
             w = level.time_refinement_weight()
             interlevel += (
                 interlevel_transfer_cells(coarse, fine, level.ratio) * w
@@ -159,6 +169,11 @@ class TraceSimulator:
         migrated = 0
         if previous is not None:
             migrated = migration_cells(previous, result)
+        if self.cross_check:
+            self._cross_check(
+                hierarchy, result, previous, comm_point_steps, messages,
+                interlevel, migrated,
+            )
         rel_comm = relative_communication(comm_point_steps + interlevel, hierarchy)
         rel_mig = (
             relative_migration(migrated, prev_hierarchy)
@@ -194,6 +209,52 @@ class TraceSimulator:
             migration_seconds=mig_t,
             total_seconds=total,
         )
+
+    def _cross_check(
+        self,
+        hierarchy: GridHierarchy,
+        result: PartitionResult,
+        previous: PartitionResult | None,
+        comm_point_steps: int,
+        messages: float,
+        interlevel: int,
+        migrated: int,
+    ) -> None:
+        """Recompute all metrics on dense rasters and assert agreement."""
+        rasters = result.rasters()
+        dense_comm = 0
+        dense_messages = 0.0
+        for level in hierarchy:
+            w = level.time_refinement_weight()
+            raster = rasters[level.index]
+            dense_comm += ghost_exchange_cells(raster, self.ghost_width) * w
+            dense_messages += ghost_message_pairs(raster) * w
+        dense_inter = 0
+        for level in hierarchy.levels[1:]:
+            dense_inter += (
+                interlevel_transfer_cells(
+                    rasters[level.index - 1],
+                    rasters[level.index],
+                    level.ratio,
+                )
+                * level.time_refinement_weight()
+            )
+        dense_migrated = 0
+        if previous is not None:
+            dense_migrated = migration_cells_dense(
+                previous.rasters(), rasters
+            )
+        checks = {
+            "ghost exchange": (comm_point_steps, dense_comm),
+            "message pairs": (messages, dense_messages),
+            "interlevel transfer": (interlevel, dense_inter),
+            "migration": (migrated, dense_migrated),
+        }
+        for name, (sparse, dense) in checks.items():
+            if sparse != dense:
+                raise AssertionError(
+                    f"sparse/dense {name} mismatch: {sparse} != {dense}"
+                )
 
     def run(
         self,

@@ -36,7 +36,7 @@ def app_shape(name: str, side: int) -> tuple[int, ...]:
 class TestRegistry:
     def test_kernels(self):
         assert set(APPLICATIONS) == {
-            "tp2d", "bl2d", "sc2d", "rm2d", "tp3d", "bl3d", "sc3d"
+            "tp2d", "bl2d", "sc2d", "rm2d", "tp3d", "bl3d", "sc3d", "rm3d"
         }
 
     def test_make_application(self):

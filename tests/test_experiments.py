@@ -102,6 +102,23 @@ class TestWorkloads:
         with pytest.raises(ValueError):
             paper_config("huge")
 
+    def test_paper_3d_is_paper_faithful(self):
+        # Sparse owner maps lifted the raster-memory cap: the 3-D paper
+        # scale carries the paper's full 5 levels of refinement.
+        cfg = paper_config("paper", ndim=3)
+        assert cfg.base_shape == (16, 16, 16)
+        assert cfg.max_levels == 5
+
+    def test_deep_scale_is_3d_only(self):
+        deep = paper_config("deep", ndim=3)
+        assert deep.base_shape == (32, 32, 32)
+        assert deep.max_levels == 5
+        # 512^3 finest index space: infeasible as a dense raster, the
+        # whole point of the sparse representation.
+        assert deep.level_shape(4) == (512, 512, 512)
+        with pytest.raises(ValueError, match="deep"):
+            paper_config("deep", ndim=2)
+
     def test_paper_trace_cached(self):
         a = paper_trace("bl2d", "small")
         b = paper_trace("bl2d", "small")

@@ -73,7 +73,7 @@ class TestHueCore:
         res.validate(h)
         # Owners of the two refined islands must not overlap (separate
         # meta-partitions on contiguous rank ranges).
-        fine = res.owners[1]
+        fine = res.rasters()[1]
         left = set(np.unique(fine[2:14, 2:14]).tolist()) - {NO_OWNER}
         right = set(np.unique(fine[40:60, 40:60]).tolist()) - {NO_OWNER}
         assert left and right
@@ -82,7 +82,7 @@ class TestHueCore:
     def test_hue_cells_owned(self):
         h = two_core_hierarchy()
         res = NaturePlusFable().partition(h, 8)
-        base = res.owners[0]
+        base = res.rasters()[0]
         refined = h.refined_mask_on_base()
         hue_owners = base[~refined]
         assert (hue_owners != NO_OWNER).all()
@@ -90,7 +90,7 @@ class TestHueCore:
     def test_heavier_core_gets_more_ranks(self):
         h = two_core_hierarchy()  # right island is much bigger
         res = NaturePlusFable().partition(h, 8)
-        fine = res.owners[1]
+        fine = res.rasters()[1]
         left = set(np.unique(fine[2:14, 2:14]).tolist()) - {NO_OWNER}
         right = set(np.unique(fine[40:60, 40:60]).tolist()) - {NO_OWNER}
         assert len(right) >= len(left)
@@ -98,13 +98,13 @@ class TestHueCore:
     def test_flat_hierarchy_all_hue(self, flat_hierarchy):
         res = NaturePlusFable().partition(flat_hierarchy, 4)
         res.validate(flat_hierarchy)
-        loads = np.bincount(res.owners[0].ravel(), minlength=4)
+        loads = np.bincount(res.rasters()[0].ravel(), minlength=4)
         assert (loads > 0).all()  # hue blocking spreads the base grid
 
     def test_single_rank_everything_on_zero(self):
         h = two_core_hierarchy()
         res = NaturePlusFable().partition(h, 1)
-        for raster in res.owners:
+        for raster in res.rasters():
             owned = raster[raster != NO_OWNER]
             assert (owned == 0).all()
 
@@ -127,8 +127,8 @@ class TestBilevels:
         res = NaturePlusFable(NatureFableParams(bilevel_size=2)).partition(h, 4)
         res.validate(h)
         # Levels 2 and 3 form a bi-level: level-3 owners refine level-2's.
-        coarse = res.owners[2]
-        fine = res.owners[3]
+        coarse = res.rasters()[2]
+        fine = res.rasters()[3]
         up = np.repeat(np.repeat(coarse, 2, 0), 2, 1)
         owned = (fine != NO_OWNER) & (up != NO_OWNER)
         np.testing.assert_array_equal(fine[owned], up[owned])

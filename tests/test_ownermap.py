@@ -1,0 +1,218 @@
+"""Property tests: sparse owner-map calculus == dense raster reductions.
+
+The sparse :class:`~repro.geometry.OwnerMap` path is the production
+representation; the dense rasters are kept as the cross-check.  These
+tests drive both against each other on random N-D inputs (random owner
+rasters, random disjoint box assignments, and random properly-nested
+hierarchies built from the shared ``boxes_nd`` strategies) and assert
+exact agreement, plus the representation laws the refactor ships under:
+``from_raster(rasterize(m)) == m`` and semantic (decomposition-
+independent) equality.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.geometry import (
+    Box,
+    BoxList,
+    NO_OWNER,
+    OwnerMap,
+    rasterize_owners,
+)
+from repro.hierarchy import GridHierarchy, PatchLevel
+from repro.partition import (
+    DomainSfcPartitioner,
+    NaturePlusFable,
+    PartitionResult,
+    PatchBasedPartitioner,
+    StickyRepartitioner,
+    proc_loads,
+)
+from repro.simulator import (
+    TraceSimulator,
+    ghost_exchange_cells,
+    ghost_message_pairs,
+    interlevel_transfer_cells,
+    migration_cells,
+    migration_cells_dense,
+    per_rank_comm_cells,
+)
+
+from tests.strategies import disjoint_boxlists
+
+
+def owner_rasters(ndim: int, side: int, nprocs: int = 4):
+    """Random dense owner rasters with unrefined holes."""
+
+    def build(seed: int) -> np.ndarray:
+        rng = np.random.default_rng(seed)
+        raster = rng.integers(0, nprocs, size=(side,) * ndim).astype(np.int32)
+        raster[rng.random((side,) * ndim) < 0.3] = NO_OWNER
+        return raster
+
+    return st.builds(build, st.integers(0, 2**31 - 1))
+
+
+@st.composite
+def nested_hierarchies(draw, ndim: int = 2):
+    """Random properly-nested factor-2 hierarchies."""
+    side = draw(st.sampled_from([4, 8]))
+    domain = Box((0,) * ndim, (side,) * ndim)
+    levels = [PatchLevel(0, [domain], ratio=1)]
+    parent = BoxList([domain])
+    depth = draw(st.integers(min_value=1, max_value=2))
+    for l in range(1, depth + 1):
+        refined_parent = parent.refine(2)
+        raw = draw(
+            disjoint_boxlists(
+                max_boxes=4, max_coord=side * 2**l, ndim=ndim
+            )
+        )
+        clipped: list[Box] = []
+        for b in raw:
+            for p in refined_parent:
+                piece = b.intersect(p)
+                if piece is not None:
+                    clipped.append(piece)
+        patches = BoxList(clipped).disjointified().coalesced()
+        if patches.ncells == 0:
+            break
+        levels.append(PatchLevel(l, patches, ratio=2))
+        parent = patches
+    return GridHierarchy(domain, levels)
+
+
+class TestRoundTrip:
+    @settings(max_examples=40, deadline=None)
+    @given(owner_rasters(2, 8))
+    def test_from_raster_rasterize_2d(self, raster):
+        m = OwnerMap.from_raster(raster)
+        m.validate_disjoint()
+        np.testing.assert_array_equal(m.rasterize(), raster)
+        assert OwnerMap.from_raster(m.rasterize()) == m
+
+    @settings(max_examples=25, deadline=None)
+    @given(owner_rasters(3, 5))
+    def test_from_raster_rasterize_3d(self, raster):
+        m = OwnerMap.from_raster(raster)
+        np.testing.assert_array_equal(m.rasterize(), raster)
+        assert OwnerMap.from_raster(m.rasterize()) == m
+
+    @settings(max_examples=40, deadline=None)
+    @given(disjoint_boxlists(max_boxes=5, max_coord=12, ndim=2),
+           st.integers(0, 2**31 - 1))
+    def test_assignments_match_dense_rasterization(self, boxlist, seed):
+        rng = np.random.default_rng(seed)
+        domain = Box((0, 0), (12, 12))
+        assignments = [
+            (b, int(rng.integers(0, 4))) for b in boxlist
+        ]
+        m = OwnerMap.from_assignments(assignments, domain)
+        np.testing.assert_array_equal(
+            m.rasterize(), rasterize_owners(assignments, domain)
+        )
+
+    def test_equality_is_semantic_not_structural(self):
+        # The same cell->rank mapping cut into different boxes.
+        a = OwnerMap.from_assignments(
+            [(Box((0, 0), (2, 4)), 1)], Box((0, 0), (4, 4))
+        )
+        b = OwnerMap.from_assignments(
+            [(Box((0, 0), (1, 4)), 1), (Box((1, 0), (2, 4)), 1)],
+            Box((0, 0), (4, 4)),
+        )
+        assert a == b
+        c = OwnerMap.from_assignments(
+            [(Box((0, 0), (2, 4)), 2)], Box((0, 0), (4, 4))
+        )
+        assert a != c
+
+
+@pytest.mark.parametrize("ndim,side", [(2, 8), (3, 5)])
+class TestMetricsAgree:
+    @settings(max_examples=25, deadline=None)
+    @given(data=st.data())
+    def test_ghost_metrics(self, ndim, side, data):
+        raster = data.draw(owner_rasters(ndim, side))
+        m = OwnerMap.from_raster(raster)
+        assert ghost_exchange_cells(m, 2) == ghost_exchange_cells(raster, 2)
+        assert ghost_message_pairs(m) == ghost_message_pairs(raster)
+        np.testing.assert_array_equal(
+            per_rank_comm_cells(m, 4), per_rank_comm_cells(raster, 4)
+        )
+
+    @settings(max_examples=25, deadline=None)
+    @given(data=st.data())
+    def test_interlevel(self, ndim, side, data):
+        coarse = data.draw(owner_rasters(ndim, side))
+        fine = data.draw(owner_rasters(ndim, side * 2))
+        assert interlevel_transfer_cells(
+            OwnerMap.from_raster(coarse), OwnerMap.from_raster(fine), 2
+        ) == interlevel_transfer_cells(coarse, fine, 2)
+
+    @settings(max_examples=25, deadline=None)
+    @given(data=st.data())
+    def test_migration(self, ndim, side, data):
+        prev_rasters = (
+            data.draw(owner_rasters(ndim, side)),
+            data.draw(owner_rasters(ndim, side * 2)),
+        )
+        cur_rasters = (
+            data.draw(owner_rasters(ndim, side)),
+            data.draw(owner_rasters(ndim, side * 2)),
+        )
+        prev = PartitionResult(owners=prev_rasters, nprocs=4)
+        cur = PartitionResult(owners=cur_rasters, nprocs=4)
+        assert migration_cells(prev, cur) == migration_cells_dense(
+            prev_rasters, cur_rasters
+        )
+
+
+PARTITIONERS = [
+    DomainSfcPartitioner(unit_size=1),
+    PatchBasedPartitioner(),
+    NaturePlusFable(),
+    StickyRepartitioner(DomainSfcPartitioner(unit_size=1)),
+]
+
+
+@pytest.mark.parametrize("ndim", [2, 3])
+class TestHierarchyMetricsAgree:
+    """End-to-end: every simulator metric, sparse vs dense, on random
+    N-D hierarchies under every partitioner family (the simulator's
+    ``cross_check`` mode recomputes each step on rasters and asserts)."""
+
+    @settings(max_examples=15, deadline=None)
+    @given(data=st.data())
+    def test_measure_step_cross_checks(self, ndim, data):
+        hierarchy = data.draw(nested_hierarchies(ndim))
+        prev_h = data.draw(nested_hierarchies(ndim))
+        if prev_h.domain != hierarchy.domain:
+            prev_h = hierarchy
+        sim = TraceSimulator(cross_check=True)
+        for part in PARTITIONERS:
+            previous = part.partition(prev_h, 3)
+            result = part.partition(hierarchy, 3, previous)
+            result.validate(hierarchy)
+            sim.measure_step(hierarchy, result, previous, prev_h)
+
+    @settings(max_examples=20, deadline=None)
+    @given(data=st.data())
+    def test_loads_match_dense_bincount(self, ndim, data):
+        hierarchy = data.draw(nested_hierarchies(ndim))
+        for part in PARTITIONERS[:2]:
+            res = part.partition(hierarchy, 4)
+            loads = proc_loads(res, hierarchy)
+            dense = np.zeros(4, dtype=np.float64)
+            for level, raster in zip(hierarchy, res.rasters()):
+                owned = raster[raster != NO_OWNER]
+                if owned.size:
+                    dense += np.bincount(owned, minlength=4) * float(
+                        level.time_refinement_weight()
+                    )
+            np.testing.assert_array_equal(loads, dense)

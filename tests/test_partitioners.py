@@ -44,7 +44,7 @@ class TestUniversalInvariants:
 
     def test_all_ranks_within_range(self, simple_hierarchy, part, nprocs):
         res = part.partition(simple_hierarchy, nprocs)
-        for raster in res.owners:
+        for raster in res.rasters():
             owned = raster[raster != NO_OWNER]
             if owned.size:
                 assert owned.min() >= 0 and owned.max() < nprocs
@@ -69,7 +69,7 @@ class TestUniversalInvariants:
 def test_deterministic(simple_hierarchy, part):
     a = part.partition(simple_hierarchy, 4)
     b = part.partition(simple_hierarchy, 4)
-    for ra, rb in zip(a.owners, b.owners):
+    for ra, rb in zip(a.rasters(), b.rasters()):
         np.testing.assert_array_equal(ra, rb)
 
 
@@ -85,6 +85,30 @@ def test_on_real_traces(small_traces, part):
 
 
 class TestPartitionResult:
+    def test_owners_shim_warns_and_matches_rasters(self, simple_hierarchy):
+        res = DomainSfcPartitioner().partition(simple_hierarchy, 4)
+        with pytest.warns(DeprecationWarning, match="OwnerMap"):
+            legacy = res.owners
+        for shim, raster in zip(legacy, res.rasters()):
+            np.testing.assert_array_equal(shim, raster)
+
+    def test_legacy_raster_construction_round_trips(self):
+        raster = np.array([[0, 0, 1], [2, 2, 1]], dtype=np.int32)
+        res = PartitionResult(owners=(raster,), nprocs=3)
+        np.testing.assert_array_equal(res.maps[0].rasterize(), raster)
+        np.testing.assert_array_equal(res.rasters()[0], raster)
+
+    def test_maps_and_owners_are_exclusive(self):
+        raster = np.zeros((2, 2), dtype=np.int32)
+        from repro.geometry import OwnerMap
+
+        with pytest.raises(ValueError, match="exactly one"):
+            PartitionResult(
+                maps=(OwnerMap.from_raster(raster),), owners=(raster,), nprocs=1
+            )
+        with pytest.raises(ValueError, match="exactly one"):
+            PartitionResult(nprocs=1)
+
     def test_rejects_wrong_dtype(self):
         with pytest.raises(ValueError, match="int32"):
             PartitionResult(
@@ -130,11 +154,11 @@ class TestDomainSfc:
         """Domain-based: all levels above a base column share the owner."""
         part = DomainSfcPartitioner(unit_size=1)
         res = part.partition(simple_hierarchy, 4)
-        base = res.owners[0]
+        base = res.rasters()[0]
         for l in range(1, simple_hierarchy.nlevels):
             ratio = simple_hierarchy.cumulative_ratio(l)
             up = np.repeat(np.repeat(base, ratio, 0), ratio, 1)
-            raster = res.owners[l]
+            raster = res.rasters()[l]
             owned = raster != NO_OWNER
             np.testing.assert_array_equal(raster[owned], up[owned])
 
@@ -174,7 +198,7 @@ class TestPatchBased:
         )
         res = PatchBasedPartitioner().partition(h, 4)
         counts = np.bincount(
-            res.owners[1][res.owners[1] != NO_OWNER], minlength=4
+            res.rasters()[1][res.rasters()[1] != NO_OWNER], minlength=4
         )
         assert (counts > 0).all()  # every rank got a share of the big patch
 
@@ -216,8 +240,8 @@ class TestNaturePlusFable:
         """Within a bi-level, fine owners refine the coarse decomposition."""
         part = NaturePlusFable(NatureFableParams(bilevel_size=2))
         res = part.partition(simple_hierarchy, 4)
-        coarse = res.owners[0]
-        fine = res.owners[1]
+        coarse = res.rasters()[0]
+        fine = res.rasters()[1]
         up = np.repeat(np.repeat(coarse, 2, 0), 2, 1)
         owned = fine != NO_OWNER
         # Where both the level-0 cell is in a core and the level-1 cell is
@@ -264,7 +288,7 @@ class TestSticky:
         sticky = StickyRepartitioner(inner)
         a = sticky.partition(simple_hierarchy, 4)
         b = inner.partition(simple_hierarchy, 4)
-        for ra, rb in zip(a.owners, b.owners):
+        for ra, rb in zip(a.rasters(), b.rasters()):
             np.testing.assert_array_equal(ra, rb)
 
     def test_identical_hierarchy_zero_migration(self, simple_hierarchy):

@@ -175,15 +175,15 @@ class TestBruteForce3D:
         )
         expected = 0
         for i, j, k in itertools.product(range(3), repeat=3):
-            if cur.owners[0][i, j, k] != prev.owners[0][i, j, k]:
+            if cur.rasters()[0][i, j, k] != prev.rasters()[0][i, j, k]:
                 expected += 1
         for i, j, k in itertools.product(range(6), repeat=3):
-            b = cur.owners[1][i, j, k]
+            b = cur.rasters()[1][i, j, k]
             if b == NO_OWNER:
                 continue
-            src = prev.owners[1][i, j, k]
+            src = prev.rasters()[1][i, j, k]
             if src == NO_OWNER:
-                src = prev.owners[0][i // 2, j // 2, k // 2]
+                src = prev.rasters()[0][i // 2, j // 2, k // 2]
             if src != b:
                 expected += 1
         assert migration_cells(prev, cur) == expected

@@ -288,8 +288,9 @@ class TestPlanCli:
         # describe command must pull in itself.
         out = self._cli(["describe", "--kind", "scale"], tmp_path)
         assert out.returncode == 0, out.stderr
-        assert "scale (2 registered)" in out.stdout
+        assert "scale (3 registered)" in out.stdout
         assert "paper" in out.stdout and "small" in out.stdout
+        assert "deep" in out.stdout
 
     def test_cache_gc(self, tmp_path):
         sweep = self._cli(["sweep", *self.GRID, "--quiet"], tmp_path)
@@ -298,8 +299,13 @@ class TestPlanCli:
         assert "3 entries" in ls.stdout  # 2 sims + the shared trace
         keep = self._cli(["cache", "gc", "--older-than", "1d"], tmp_path)
         assert "evicted 0 entries" in keep.stdout
+        assert "0.0 MB reclaimed" in keep.stdout
+        # The store-wide total after gc is part of the report.
+        assert "store now holds 3 entries" in keep.stdout
         evict = self._cli(["cache", "gc", "--max-bytes", "0"], tmp_path)
         assert "evicted 3 entries" in evict.stdout
+        assert "MB reclaimed" in evict.stdout
+        assert "store now holds 0 entries, 0.0 MB" in evict.stdout
         assert "0 entries" in self._cli(["cache", "ls"], tmp_path).stdout
         bad = self._cli(["cache", "gc"], tmp_path)
         assert bad.returncode != 0
