@@ -32,7 +32,9 @@ def main() -> None:
         for name in APP_NAMES_3D
         for part in PARTITIONERS
     ]
-    results = run_specs(specs, n_jobs=2, progress=print)
+    # Equivalent to n_jobs=2; swap in backend="cluster", workers=2 to
+    # drain the same sweep through repro worker daemons instead.
+    results = run_specs(specs, backend="process", n_jobs=2, progress=print)
 
     print(f"\nreplay on {NPROCS} ranks:")
     header = (

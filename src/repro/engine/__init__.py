@@ -14,9 +14,14 @@ declarative job:
 * :mod:`repro.engine.store` — the content-addressed artifact store
   (``REPRO_CACHE_DIR``, default ``~/.cache/repro``) with LRU eviction
   (:meth:`ResultStore.gc`);
-* :mod:`repro.engine.executor` — the DAG executor: walks the plan's
-  layers (traces first, dependents fan out), sharding each layer across
-  a process pool;
+* :mod:`repro.engine.executor` — the DAG executor front-end: resolves
+  plans and hands them to an execution backend, then loads results back
+  from the store;
+* :mod:`repro.engine.backends` — the pluggable execution backends
+  (registry kind ``"backend"``): ``serial`` (in-process), ``process``
+  (trace-aware shards over a local pool) and ``cluster`` (a
+  shared-filesystem job broker over ``repro worker`` daemons, with
+  lease heartbeats, crash requeue and a retry cap);
 * :mod:`repro.engine.components` — the built-in components, registered
   with the unified :mod:`repro.registry` (``create`` / ``registry`` /
   ``describe`` are re-exported here);
@@ -39,6 +44,16 @@ inside functions.
 """
 
 from .executor import execute, plan_specs, run_spec, run_specs, shard_specs
+from .backends import (
+    ClusterBackend,
+    ClusterJobError,
+    ExecutionBackend,
+    JobQueue,
+    ProcessBackend,
+    SerialBackend,
+    Worker,
+    resolve_backend,
+)
 from .graph import MissingInputError, Plan, SpecNode, build_plan, toposort_layers
 from .components import (
     STATIC_SUITE,
@@ -65,7 +80,9 @@ from .spec import (
 from .store import DEFAULT_CACHE_DIR, ResultStore, default_store
 
 #: Version of this public surface (semver; major bumps are breaking).
-ENGINE_API_VERSION = "1.0"
+#: 1.1: execution backends (serial/process/cluster), ``run_specs``
+#: ``backend``/``workers``/``verbose`` parameters, ``repro worker``.
+ENGINE_API_VERSION = "1.1"
 
 __all__ = [
     # versions
@@ -93,6 +110,15 @@ __all__ = [
     "run_specs",
     "plan_specs",
     "shard_specs",
+    # execution backends
+    "ExecutionBackend",
+    "SerialBackend",
+    "ProcessBackend",
+    "ClusterBackend",
+    "ClusterJobError",
+    "JobQueue",
+    "Worker",
+    "resolve_backend",
     # component registry
     "create",
     "describe",
@@ -107,6 +133,7 @@ __all__ = [
     "PARTITIONER_NAMES",
     "SCHEDULE_NAMES",
     "MACHINE_NAMES",
+    "BACKEND_NAMES",
     # deprecated shims (DeprecationWarning; removal after one release)
     "make_partitioner",
     "make_schedule",
@@ -118,6 +145,7 @@ _NAME_TUPLE_KINDS = {
     "PARTITIONER_NAMES": "partitioner",
     "SCHEDULE_NAMES": "schedule",
     "MACHINE_NAMES": "machine",
+    "BACKEND_NAMES": "backend",
 }
 
 

@@ -1,0 +1,126 @@
+"""The ``process`` backend: trace-aware shards over a local process pool.
+
+This is the historical ``n_jobs>1`` executor path, extracted verbatim:
+one :class:`~concurrent.futures.ProcessPoolExecutor` for the whole plan,
+each layer dealt into trace-aware shards
+(:func:`~repro.engine.executor.shard_specs`), workers publishing into
+the store and returning only keys — which is what makes parallel
+execution bit-identical to serial.
+"""
+
+from __future__ import annotations
+
+from concurrent.futures import ProcessPoolExecutor, as_completed
+from typing import Sequence
+
+from ...registry import register
+from ..graph import Plan
+from ..spec import RunSpec
+from ..store import ResultStore
+from .base import ExecutionBackend, Progress, layer_status
+from .serial import SerialBackend
+
+__all__ = ["ProcessBackend"]
+
+
+@register(
+    "backend",
+    "process",
+    description="trace-aware sharding across a local process pool",
+    tags=("local",),
+)
+class ProcessBackend(ExecutionBackend):
+    """Shard each layer across ``n_jobs`` local worker processes."""
+
+    name = "process"
+
+    def __init__(self, n_jobs: int = 2) -> None:
+        if n_jobs < 1:
+            raise ValueError("n_jobs must be >= 1")
+        self.n_jobs = n_jobs
+        self._pool: ProcessPoolExecutor | None = None
+
+    def run_plan(
+        self,
+        plan: Plan,
+        store: ResultStore,
+        *,
+        force: bool = False,
+        progress: Progress | None = None,
+        verbose: bool = False,
+    ) -> None:
+        # One pool for the whole plan — but none at all when a single
+        # pending job (or n_jobs=1) makes the spawn overhead pure waste.
+        pending_total = len(plan.pending())
+        self._pool = (
+            ProcessPoolExecutor(max_workers=self.n_jobs)
+            if self.n_jobs > 1 and pending_total > 1
+            else None
+        )
+        try:
+            super().run_plan(
+                plan, store, force=force, progress=progress, verbose=verbose
+            )
+        finally:
+            if self._pool is not None:
+                self._pool.shutdown()
+                self._pool = None
+
+    def run_layer(
+        self,
+        depth: int,
+        specs: Sequence[RunSpec],
+        store: ResultStore,
+        *,
+        force: bool,
+        say: Progress,
+        verbose: bool,
+    ) -> None:
+        from ..executor import _run_shard, shard_specs
+
+        if self._pool is None or len(specs) == 1:
+            SerialBackend().run_layer(
+                depth, specs, store, force=force, say=say, verbose=verbose
+            )
+            return
+        total = len(specs)
+        done = 0
+        shards = shard_specs(specs, self.n_jobs)
+        futures = {
+            self._pool.submit(
+                _run_shard,
+                str(store.root),
+                [s.to_json() for s in shard],
+                force,
+            ): i
+            for i, shard in enumerate(shards)
+        }
+        for future in as_completed(futures):
+            finished = future.result()  # propagate worker failures
+            done += len(finished)
+            say(f"shard {futures[future]} finished ({len(finished)} specs)")
+            if verbose:
+                say(
+                    layer_status(
+                        depth,
+                        queued=0,
+                        leased=total - done,
+                        done=done,
+                        total=total,
+                    )
+                )
+
+    def placement(self, plan: Plan, store: ResultStore) -> list[str]:
+        from ..executor import shard_specs
+
+        lines = [f"process: pool of {self.n_jobs} local worker processes"]
+        for depth in range(len(plan.layers)):
+            specs = plan.layer_specs(depth)
+            shards = shard_specs(specs, self.n_jobs)
+            sizes = ",".join(str(len(s)) for s in shards)
+            lines.append(
+                f"  layer {depth}: {len(specs)} jobs over "
+                f"{len(shards)} shard{'s' if len(shards) != 1 else ''} "
+                f"[{sizes}]"
+            )
+        return lines

@@ -1,0 +1,69 @@
+"""The ``serial`` backend: everything in this process, one job at a time.
+
+This is the historical ``n_jobs=1`` executor path, extracted verbatim:
+no pool, no queue, results published straight into the store.  It is
+also the fallback the ``process`` backend uses for single-job layers,
+so the two stay behavior-identical by sharing this code.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from ...registry import register
+from ..spec import RunSpec
+from ..store import ResultStore
+from .base import ExecutionBackend, Progress, layer_status
+
+__all__ = ["SerialBackend"]
+
+
+@register(
+    "backend",
+    "serial",
+    description="in-process sequential execution (the n_jobs=1 baseline)",
+    tags=("local",),
+)
+class SerialBackend(ExecutionBackend):
+    """Run every pending job in-process, in layer order."""
+
+    name = "serial"
+
+    def run_layer(
+        self,
+        depth: int,
+        specs: Sequence[RunSpec],
+        store: ResultStore,
+        *,
+        force: bool,
+        say: Progress,
+        verbose: bool,
+    ) -> None:
+        # Lazy: the executor resolves backends at call time, so backends
+        # may only reach back into it at call time.
+        from ..executor import execute
+
+        total = len(specs)
+        for done, spec in enumerate(specs, start=1):
+            store.put_result(
+                execute(spec, store),
+                overwrite=force and spec.kind != "trace",
+            )
+            say(f"computed {spec.label()}")
+            if verbose:
+                say(
+                    layer_status(
+                        depth,
+                        queued=total - done,
+                        leased=0,
+                        done=done,
+                        total=total,
+                    )
+                )
+
+    def placement(self, plan, store) -> list[str]:
+        jobs = sum(len(layer) for layer in plan.layers)
+        return [
+            f"serial: all {jobs} pending jobs run in this process, "
+            f"layer by layer"
+        ]

@@ -5,14 +5,22 @@ Subcommands
 ``repro run``
     Execute (or fetch) a single job and print its summary or series.
 ``repro sweep``
-    Fan a grid of jobs — apps x partitioners x machines — across worker
-    processes.  Dependency resolution schedules missing workload traces
-    first; already-stored results are skipped, so re-running a killed
-    sweep resumes where it left off.
+    Fan a grid of jobs — apps x partitioners x machines — through an
+    execution backend (``--backend serial|process|cluster``; ``cluster``
+    auto-spawns local daemons via ``--workers N``).  Dependency
+    resolution schedules missing workload traces first; already-stored
+    results are skipped, so re-running a killed sweep resumes where it
+    left off.
+``repro worker``
+    Run one long-lived worker daemon: claim leases from the shared job
+    queue next to the store, execute specs, publish results, heartbeat.
+    Start any number of these (on any host that mounts the store) and
+    point ``repro sweep --backend cluster`` at the same cache dir.
 ``repro plan``
     Resolve the same grid into its dependency-aware execution plan
     *without running it*: what the store already holds vs. what would be
-    computed, layer by layer.
+    computed, layer by layer (``--backend`` adds the backend's placement
+    report).
 ``repro graph``
     Print the spec dependency graph (``--dot`` for Graphviz).
 ``repro report``
@@ -21,10 +29,12 @@ Subcommands
 ``repro describe``
     Introspect the component registries: every registered app,
     partitioner, schedule, machine and scale with its parameter schema.
-``repro cache ls | clear | gc``
-    Inspect, empty or garbage-collect the content-addressed store
-    (``gc`` takes ``--max-bytes`` / ``--older-than`` with an
-    LRU-by-mtime policy).
+``repro cache ls | clear | gc | verify``
+    Inspect, empty, garbage-collect or integrity-check the
+    content-addressed store (``gc`` takes ``--max-bytes`` /
+    ``--older-than`` with an LRU-by-mtime policy; ``verify`` scans for
+    corrupt entries after hard kills and removes them with
+    ``--remove``).
 
 The store location is ``$REPRO_CACHE_DIR`` (default ``~/.cache/repro``);
 ``--cache-dir`` overrides it per invocation.
@@ -40,6 +50,7 @@ from typing import Sequence
 
 from ..registry import describe as describe_components
 from ..registry import registry
+from .backends import ClusterJobError, resolve_backend
 from .executor import run_spec, run_specs
 from .graph import Plan, build_plan
 from .components import STATIC_SUITE
@@ -216,6 +227,25 @@ def _print_sweep_table(results) -> None:
             )
 
 
+def _resolve_cli_backend(args):
+    """Build the backend an invocation selected, or None for the default."""
+    backend = getattr(args, "backend", None)
+    if getattr(args, "workers", None) and backend != "cluster":
+        raise SystemExit("--workers needs --backend cluster")
+    if backend is None:
+        return None
+    if backend not in registry("backend"):
+        raise SystemExit(
+            f"unknown backend {backend!r}; choose from "
+            f"{tuple(registry('backend'))}"
+        )
+    return resolve_backend(
+        backend,
+        n_jobs=getattr(args, "n_jobs", 1),
+        workers=getattr(args, "workers", None),
+    )
+
+
 def _cmd_run(args) -> int:
     store = _store_from(args)
     if args.kind == "sim":
@@ -236,7 +266,13 @@ def _cmd_run(args) -> int:
     else:
         spec = trace_spec(args.app, args.scale, seed=args.seed)
     cached = store.has(spec.key())
-    result = run_spec(spec, store=store, force=args.force)
+    backend = _resolve_cli_backend(args)
+    if backend is not None:
+        result = run_specs(
+            [spec], store=store, force=args.force, backend=backend
+        )[0]
+    else:
+        result = run_spec(spec, store=store, force=args.force)
     if args.json:
         print(json.dumps({"key": result.key, "meta": result.meta}, indent=1,
                          sort_keys=True))
@@ -271,6 +307,10 @@ def _cmd_sweep(args) -> int:
         store=store,
         force=args.force,
         progress=None if args.quiet else print,
+        # The resolved instance already carries --workers; passing it
+        # through run_specs' workers= too would double-configure it.
+        backend=_resolve_cli_backend(args),
+        verbose=args.verbose,
     )
     _print_sweep_table(results)
     implicit = counts["implicit_compute"]
@@ -316,6 +356,11 @@ def _cmd_plan(args) -> int:
     store = _store_from(args)
     plan = build_plan(_sweep_specs(args), store)
     _print_plan(plan)
+    backend = _resolve_cli_backend(args)
+    if backend is not None:
+        print("\nplacement:")
+        for line in backend.placement(plan, store):
+            print(f"  {line}")
     print(f"\nstore: {store.root}")
     return 0
 
@@ -422,12 +467,68 @@ def _cmd_describe(args) -> int:
     return 0
 
 
+def _cmd_worker(args) -> int:
+    import signal
+
+    from .backends import JobQueue, Worker
+
+    store = _store_from(args)
+    queue = (
+        JobQueue(args.queue_dir)
+        if args.queue_dir
+        else JobQueue.for_store(store)
+    )
+    log = None if args.quiet else (
+        lambda line: print(line, file=sys.stderr, flush=True)
+    )
+    worker = Worker(
+        store,
+        queue,
+        worker_id=args.worker_id,
+        poll_interval=args.poll_interval,
+        heartbeat_interval=args.heartbeat_interval,
+        idle_timeout=args.idle_timeout,
+        max_jobs=args.max_jobs,
+        die_after_claims=args.die_after_claims,
+        log=log,
+    )
+    # SIGTERM (the broker reaping auto-spawned daemons, systemd, ...)
+    # requests a graceful exit after the current job.
+    signal.signal(signal.SIGTERM, lambda signum, frame: worker.stop())
+    try:
+        done = worker.run()
+    except KeyboardInterrupt:  # pragma: no cover - interactive only
+        done = worker.jobs_done
+    if log is not None:
+        log(
+            f"worker {worker.worker_id} exiting: {done} completed, "
+            f"{worker.jobs_failed} failed"
+        )
+    return 0
+
+
 def _cmd_cache(args) -> int:
     store = _store_from(args)
     if args.cache_cmd == "clear":
         removed = store.clear(kind=args.kind)
         print(f"removed {removed} entries from {store.root}")
         return 0
+    if args.cache_cmd == "verify":
+        problems = store.verify(remove=args.remove)
+        if not problems:
+            print(f"store {store.root} is sound (no corrupt entries)")
+            return 0
+        for doc in problems:
+            key = doc["key"][:12] if doc["key"] else "(staging)"
+            state = "removed" if doc["removed"] else "found"
+            print(f"{state}  {key:<14} {doc['problem']}")
+        kept = sum(1 for doc in problems if not doc["removed"])
+        print(
+            f"{len(problems)} problem{'s' if len(problems) != 1 else ''} "
+            f"in {store.root}"
+            + ("" if args.remove else " (re-run with --remove to clean up)")
+        )
+        return 1 if kept else 0
     if args.cache_cmd == "gc":
         if args.max_bytes is None and args.older_than is None:
             raise SystemExit("cache gc needs --max-bytes and/or --older-than")
@@ -498,8 +599,23 @@ def build_parser() -> argparse.ArgumentParser:
         p.add_argument("--kind", default="sim",
                        choices=["sim", "penalties", "trace"])
 
+    def backend_opts(p):
+        p.add_argument(
+            "--backend", default=None,
+            help="execution backend: serial, process, cluster, or a "
+            "registered plugin (default: serial, or process when "
+            "--n-jobs > 1)",
+        )
+        p.add_argument(
+            "--workers", type=int, default=None,
+            help="cluster: auto-spawn this many local `repro worker` "
+            "daemons for the run (default: use externally started "
+            "workers)",
+        )
+
     run = sub.add_parser("run", help="run (or fetch) one job")
     common(run)
+    backend_opts(run)
     run.add_argument("--app", required=True)
     run.add_argument("--kind", default="sim",
                      choices=["sim", "penalties", "trace"])
@@ -521,12 +637,47 @@ def build_parser() -> argparse.ArgumentParser:
     )
     common(sweep)
     grid(sweep)
+    backend_opts(sweep)
     sweep.add_argument("--n-jobs", type=int, default=1,
                        help="worker processes (1 = serial, no pool)")
     sweep.add_argument("--force", action="store_true")
     sweep.add_argument("--quiet", action="store_true",
                        help="suppress progress lines")
+    sweep.add_argument("--verbose", action="store_true",
+                       help="per-layer progress lines "
+                       "(jobs queued/leased/done)")
     sweep.set_defaults(func=_cmd_sweep)
+
+    worker = sub.add_parser(
+        "worker",
+        help="serve the shared job queue as a long-lived worker daemon",
+    )
+    worker.add_argument(
+        "--cache-dir", default=None,
+        help="store location (default: $REPRO_CACHE_DIR or ~/.cache/repro)",
+    )
+    worker.add_argument(
+        "--queue-dir", default=None,
+        help="job queue location (default: <store>/queue)",
+    )
+    worker.add_argument("--worker-id", default=None,
+                        help="identity on leases (default: host-pid-nonce)")
+    worker.add_argument("--poll-interval", type=float, default=0.5,
+                        help="seconds between queue scans while idle")
+    worker.add_argument("--heartbeat-interval", type=float, default=5.0,
+                        help="seconds between lease heartbeats (keep well "
+                        "below the broker's lease timeout)")
+    worker.add_argument("--idle-timeout", type=float, default=None,
+                        help="exit after this many idle seconds "
+                        "(default: serve until stopped)")
+    worker.add_argument("--max-jobs", type=int, default=None,
+                        help="exit after completing this many jobs")
+    worker.add_argument("--die-after-claims", type=int, default=None,
+                        help="fault injection for tests: SIGKILL self after "
+                        "claiming the N-th job, before executing it")
+    worker.add_argument("--quiet", action="store_true",
+                        help="suppress per-job log lines on stderr")
+    worker.set_defaults(func=_cmd_worker)
 
     plan = sub.add_parser(
         "plan",
@@ -534,6 +685,9 @@ def build_parser() -> argparse.ArgumentParser:
     )
     common(plan)
     grid(plan)
+    backend_opts(plan)
+    plan.add_argument("--n-jobs", type=int, default=1,
+                      help="worker count assumed by the placement report")
     plan.set_defaults(func=_cmd_plan)
 
     graph = sub.add_parser(
@@ -564,12 +718,15 @@ def build_parser() -> argparse.ArgumentParser:
     desc.set_defaults(func=_cmd_describe)
 
     cache = sub.add_parser(
-        "cache", help="inspect, empty or garbage-collect the result store"
+        "cache",
+        help="inspect, empty, garbage-collect or verify the result store",
     )
-    cache.add_argument("cache_cmd", choices=["ls", "clear", "gc"])
+    cache.add_argument("cache_cmd", choices=["ls", "clear", "gc", "verify"])
     cache.add_argument("--kind", default=None,
                        choices=["trace", "sim", "penalties"],
                        help="restrict clear to one kind")
+    cache.add_argument("--remove", action="store_true",
+                       help="verify: delete the corrupt entries found")
     cache.add_argument("--max-bytes", type=_parse_size, default=None,
                        metavar="SIZE",
                        help="gc: evict LRU entries until under SIZE "
@@ -588,6 +745,11 @@ def main(argv: Sequence[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
     try:
         return args.func(args)
+    except ClusterJobError as exc:
+        # Jobs exhausted their retry cap: the per-job report is the
+        # outcome, not a traceback.
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
     except ValueError as exc:
         # Spec/registry validation (bad seed, schedule params, ...) is a
         # usage error, not a crash.

@@ -5,28 +5,29 @@ specs into a dependency-aware :class:`~repro.engine.graph.Plan`
 (deduplicated, implicit trace inputs expanded, everything the store
 already holds pruned — which is what makes a killed sweep *resumable*
 and lets a sim sweep over a warm store execute zero trace jobs), then
-walks the plan's topological layers: traces first, dependents fanned out
-in parallel once their inputs are published.
+hands the plan to an **execution backend**
+(:mod:`repro.engine.backends`) that walks its topological layers:
+traces first, dependents fanned out in parallel once their inputs are
+published.
 
-Within a layer, sharding is trace-aware: pending specs are grouped by
-their workload ``(app, scale, seed)`` and whole groups are dealt to the
-least-loaded shard, so each worker loads every trace it needs at most
-once (the per-process ``paper_trace`` memo does the rest).  Workers
-publish into the content-addressed store and return only keys; the
-parent then loads every result back from disk, so serial (``n_jobs=1``,
-which never spawns a pool) and parallel execution return bit-identical
-artifacts.
+``backend="serial"`` runs everything in-process, ``"process"`` shards
+each layer trace-aware across a local pool (specs sharing ``(app,
+scale, seed)`` stay together so each worker loads every trace at most
+once), and ``"cluster"`` brokers the layers through a shared-filesystem
+job queue drained by ``repro worker`` daemons.  Whoever computes,
+results travel only through the content-addressed store — the parent
+loads every artifact back from disk, so all backends return
+bit-identical results.
 """
 
 from __future__ import annotations
 
-from concurrent.futures import ProcessPoolExecutor, as_completed
 from typing import Callable, Iterable, Sequence
 
 import numpy as np
 
 from ..simulator import TraceSimulator
-from .graph import MissingInputError, Plan, build_plan
+from .graph import build_plan
 from .components import create, is_schedule, resolve_machine
 from .spec import RunResult, RunSpec
 from .store import ResultStore, default_store
@@ -187,6 +188,7 @@ def run_spec(
     ``force`` recomputes and replaces whatever the store holds.
     """
     store = store or default_store()
+    key = spec.key()
     if not force:
         cached = store.get_result(spec)
         if cached is not None:
@@ -194,7 +196,10 @@ def run_spec(
     else:
         _forget_traces([spec], store)
     result = execute(spec, store)
-    store.put_result(result, overwrite=force and spec.kind != "trace")
+    # ``has`` despite a failed load means the entry is corrupt (a hard
+    # kill mid-publish): replace it rather than no-op against the husk.
+    overwrite = spec.kind != "trace" and (force or store.has(key))
+    store.put_result(result, overwrite=overwrite)
     stored = store.get_result(spec)
     # Return the store's view so every caller sees identical bytes.
     return stored if stored is not None else result
@@ -256,31 +261,17 @@ def _run_shard(root: str, spec_docs: list[dict], overwrite: bool) -> list[str]:
     return keys
 
 
-def _verify_inputs(layer: Sequence[str], plan: Plan, store: ResultStore) -> None:
-    """Fail fast if a layer's inputs never materialized in the store."""
-    for key in layer:
-        node = plan.node(key)
-        for input_key in node.inputs:
-            if store.has(input_key):
-                continue
-            input_node = plan.nodes.get(input_key)
-            input_label = (
-                input_node.spec.label() if input_node else input_key[:12]
-            )
-            raise MissingInputError(
-                f"{node.spec.label()} requires input {input_label} "
-                f"({input_key[:12]}) which is not in the store"
-            )
-
-
 def run_specs(
     specs: Iterable[RunSpec],
     n_jobs: int = 1,
     store: ResultStore | None = None,
     force: bool = False,
     progress: Callable[[str], None] | None = None,
+    backend: "str | object | None" = None,
+    workers: int | None = None,
+    verbose: bool = False,
 ) -> list[RunResult]:
-    """Run a batch of specs as a dependency graph over worker processes.
+    """Run a batch of specs as a dependency graph over a backend.
 
     Parameters
     ----------
@@ -290,9 +281,10 @@ def run_specs(
         jobs) are scheduled automatically when the store lacks them —
         traces first, dependents fanned out once they are published.
     n_jobs :
-        Worker processes.  ``1`` runs everything in-process (serial
-        fallback, no pool); results are bit-identical either way because
-        both paths publish to — and read back from — the store.
+        Worker processes for the default local backends: ``1`` selects
+        ``serial`` (everything in-process, no pool), ``>1`` selects
+        ``process`` with that many workers.  Ignored when ``backend``
+        names anything else.
     store :
         Result store (default: ``REPRO_CACHE_DIR`` / ``~/.cache/repro``).
     force :
@@ -300,6 +292,20 @@ def run_specs(
         specs only; implicit inputs still resolve against the store).
     progress :
         Optional callback receiving one human-readable line per event.
+    backend :
+        Execution backend: a registered name (``"serial"``,
+        ``"process"``, ``"cluster"``, or a plugin's), an
+        :class:`~repro.engine.backends.ExecutionBackend` instance, or
+        ``None`` for the historical ``n_jobs`` behavior.  Every backend
+        publishes to — and this function reads back from — the store,
+        so results are bit-identical across backends.
+    workers :
+        ``cluster`` convenience: auto-spawn this many local ``repro
+        worker`` daemons for the duration of the run (``None``/0: rely
+        on externally started workers).
+    verbose :
+        Emit per-layer progress lines (jobs queued/leased/done) through
+        ``progress`` in addition to the coarse events.
 
     Returns
     -------
@@ -310,6 +316,11 @@ def run_specs(
     if n_jobs < 1:
         raise ValueError("n_jobs must be >= 1")
     store = store or default_store()
+    # Lazy: backends import this module (execute/shard helpers), so the
+    # front-end resolves them at call time.
+    from .backends import resolve_backend
+
+    engine_backend = resolve_backend(backend, n_jobs=n_jobs, workers=workers)
     plan = build_plan(specs, store, force=force)
     if force:
         _forget_traces(
@@ -327,45 +338,11 @@ def run_specs(
         f"{len(specs)} submitted: {counts['submitted']} unique, "
         f"{counts['stored']} in store, {counts['compute']} to compute{extra}"
     )
-    pending_total = counts["compute"] + counts["implicit_compute"]
-    pool = (
-        ProcessPoolExecutor(max_workers=n_jobs)
-        if n_jobs > 1 and pending_total > 1
-        else None
+    if verbose:
+        say(f"backend: {engine_backend.name}")
+    engine_backend.run_plan(
+        plan, store, force=force, progress=progress, verbose=verbose
     )
-    try:
-        for depth, layer in enumerate(plan.layers):
-            _verify_inputs(layer, plan, store)
-            layer_specs = [plan.node(key).spec for key in layer]
-            if len(plan.layers) > 1:
-                say(f"layer {depth}: {len(layer_specs)} jobs")
-            if pool is None or len(layer_specs) == 1:
-                for spec in layer_specs:
-                    store.put_result(
-                        execute(spec, store),
-                        overwrite=force and spec.kind != "trace",
-                    )
-                    say(f"computed {spec.label()}")
-            else:
-                shards = shard_specs(layer_specs, n_jobs)
-                futures = {
-                    pool.submit(
-                        _run_shard,
-                        str(store.root),
-                        [s.to_json() for s in shard],
-                        force,
-                    ): i
-                    for i, shard in enumerate(shards)
-                }
-                for future in as_completed(futures):
-                    done = future.result()  # propagate worker failures
-                    say(
-                        f"shard {futures[future]} finished "
-                        f"({len(done)} specs)"
-                    )
-    finally:
-        if pool is not None:
-            pool.shutdown()
     by_key: dict[str, RunResult] = {}
     for node in plan.submitted():
         result = store.get_result(node.key)

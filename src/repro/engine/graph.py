@@ -119,6 +119,10 @@ class Plan:
         """Nodes that must be computed, in layer order."""
         return [self.nodes[key] for layer in self.layers for key in layer]
 
+    def layer_specs(self, depth: int) -> list[RunSpec]:
+        """The specs of one pending layer, in layer order."""
+        return [self.nodes[key].spec for key in self.layers[depth]]
+
     def stored(self) -> list[SpecNode]:
         """Nodes the store already resolves."""
         return [node for node in self.nodes.values() if node.stored]

@@ -17,10 +17,14 @@ the same key are benign (first rename wins, the loser is discarded).
 
 from __future__ import annotations
 
+import gzip
 import json
 import os
 import shutil
 import time
+import warnings
+import zipfile
+import zlib
 from pathlib import Path
 from typing import Iterator
 
@@ -30,6 +34,20 @@ from ..trace import Trace
 from .spec import RunResult, RunSpec
 
 __all__ = ["ResultStore", "default_store", "DEFAULT_CACHE_DIR"]
+
+#: Exceptions a truncated / partially-deleted artifact can raise while
+#: loading; anything in this set is a *corrupt entry*, not a crash.
+_CORRUPTION_ERRORS = (
+    OSError,  # includes gzip.BadGzipFile and plain I/O failures
+    EOFError,
+    ValueError,
+    KeyError,
+    TypeError,
+    json.JSONDecodeError,
+    UnicodeDecodeError,
+    zipfile.BadZipFile,
+    zlib.error,
+)
 
 #: Fallback store location when ``REPRO_CACHE_DIR`` is unset.
 DEFAULT_CACHE_DIR = Path.home() / ".cache" / "repro"
@@ -82,13 +100,25 @@ class ResultStore:
         try:
             os.replace(stage, final)
         except OSError:
-            if not (final / _META).is_file():
-                # Not the lost-a-race case: surface real I/O failures
-                # (disk full, permissions, clobbered tmp dir).
-                raise
-            # A concurrent writer published the same key first; their
-            # artifact is byte-equivalent by construction.
-            shutil.rmtree(stage, ignore_errors=True)
+            if (final / _META).is_file():
+                # A concurrent writer published the same key first; their
+                # artifact is byte-equivalent by construction.
+                shutil.rmtree(stage, ignore_errors=True)
+                return
+            if final.exists():
+                # A meta-less husk (hard-killed writer, partial delete)
+                # blocks the rename; retire it and publish over it.
+                shutil.rmtree(final, ignore_errors=True)
+                try:
+                    os.replace(stage, final)
+                    return
+                except OSError:
+                    if (final / _META).is_file():
+                        shutil.rmtree(stage, ignore_errors=True)
+                        return
+            # Not the lost-a-race case: surface real I/O failures
+            # (disk full, permissions, clobbered tmp dir).
+            raise
 
     def _stage(self, key: str) -> Path:
         self._tmp.mkdir(parents=True, exist_ok=True)
@@ -147,33 +177,79 @@ class ResultStore:
         except OSError:  # pragma: no cover - racing remover / readonly store
             pass
 
+    def _corrupt_miss(self, key: str, problem: str) -> None:
+        """Warn about — and retire — a corrupt entry so the next publish
+        repairs it; callers then treat the key as a plain cache miss."""
+        warnings.warn(
+            f"store entry {key[:12]} is corrupt ({problem}); "
+            f"treating it as a cache miss",
+            RuntimeWarning,
+            stacklevel=3,
+        )
+        self.remove(key)
+
     def get_result(self, spec_or_key: RunSpec | str) -> RunResult | None:
-        """Load a stored :class:`RunResult`, or ``None`` on a miss."""
+        """Load a stored :class:`RunResult`, or ``None`` on a miss.
+
+        Truncated or partially-deleted entries — a worker hard-killed
+        mid-publish, a half-finished manual delete — are retired with a
+        warning and reported as a miss, so a sweep recomputes instead of
+        crashing mid-flight.
+        """
         key = (
             spec_or_key if isinstance(spec_or_key, str) else spec_or_key.key()
         )
         doc = self.load_meta(key)
         if doc is None:
             return None
-        self._touch(key)
-        spec = RunSpec.from_json(doc["spec"])
+        spec_doc, meta = doc.get("spec"), doc.get("meta")
+        if not isinstance(spec_doc, dict) or not isinstance(meta, dict):
+            self._corrupt_miss(key, "meta.json lacks spec/meta")
+            return None
+        try:
+            spec = RunSpec.from_json(spec_doc)
+        except Exception as exc:
+            self._corrupt_miss(key, f"spec does not parse: {exc}")
+            return None
         arrays: dict[str, np.ndarray] = {}
         series = self.entry_dir(key) / _SERIES
         if series.is_file():
-            with np.load(series) as npz:
-                arrays = {name: npz[name] for name in npz.files}
-        return RunResult(spec=spec, key=key, meta=doc["meta"], arrays=arrays)
+            try:
+                with np.load(series) as npz:
+                    arrays = {name: npz[name] for name in npz.files}
+            except _CORRUPTION_ERRORS as exc:
+                self._corrupt_miss(key, f"series.npz unreadable: {exc}")
+                return None
+        elif doc.get("kind") in ("sim", "penalties"):
+            self._corrupt_miss(key, "series.npz missing")
+            return None
+        self._touch(key)
+        return RunResult(spec=spec, key=key, meta=meta, arrays=arrays)
 
     def get_trace(self, spec_or_key: RunSpec | str) -> Trace | None:
-        """Load a stored trace artifact, or ``None`` on a miss."""
+        """Load a stored trace artifact, or ``None`` on a miss.
+
+        Like :meth:`get_result`, a truncated or partially-deleted trace
+        entry is retired with a warning and treated as a miss (the trace
+        cache then regenerates and republishes it).
+        """
         key = (
             spec_or_key if isinstance(spec_or_key, str) else spec_or_key.key()
         )
         path = self.entry_dir(key) / _TRACE
         if not path.is_file():
+            if self.has(key):
+                # meta.json survived but the artifact did not: without
+                # retiring the husk, put_trace would no-op forever.
+                self._corrupt_miss(key, "trace.json.gz missing")
+            return None
+        try:
+            trace = Trace.load(path)
+        except _CORRUPTION_ERRORS as exc:
+            self._corrupt_miss(key, f"trace.json.gz unreadable: {exc}")
             return None
         self._touch(key)
-        return Trace.load(path)
+        return trace
 
     def remove(self, key: str) -> bool:
         """Delete one entry; returns whether anything was removed."""
@@ -255,3 +331,91 @@ class ResultStore:
                     freed += doc["nbytes"]
                     total -= doc["nbytes"]
         return removed, freed
+
+    def _verify_entry(self, key: str) -> str | None:
+        """The problem with one published entry, or ``None`` if sound."""
+        entry = self.entry_dir(key)
+        doc = self.load_meta(key)
+        if doc is None:
+            return (
+                "unparsable meta.json"
+                if (entry / _META).is_file()
+                else "missing meta.json"
+            )
+        if doc.get("key") != key:
+            return f"meta.json key mismatch ({str(doc.get('key'))[:12]})"
+        if not isinstance(doc.get("spec"), dict) or not isinstance(
+            doc.get("meta"), dict
+        ):
+            return "meta.json lacks spec/meta"
+        try:
+            RunSpec.from_json(doc["spec"])
+        except Exception as exc:
+            return f"spec does not parse: {exc}"
+        if doc.get("kind") == "trace":
+            path = entry / _TRACE
+            if not path.is_file():
+                return "trace.json.gz missing"
+            try:
+                with gzip.open(path, "rb") as fh:
+                    while fh.read(1 << 20):
+                        pass
+            except _CORRUPTION_ERRORS as exc:
+                return f"trace.json.gz unreadable: {exc}"
+            return None
+        path = entry / _SERIES
+        if not path.is_file():
+            return "series.npz missing"
+        try:
+            with np.load(path) as npz:
+                for name in npz.files:
+                    npz[name]
+        except _CORRUPTION_ERRORS as exc:
+            return f"series.npz unreadable: {exc}"
+        return None
+
+    def verify(self, remove: bool = False) -> list[dict]:
+        """Scan every entry for corruption; optionally retire the damage.
+
+        Hard-killed workers leave three kinds of debris behind: staged
+        entries stranded in ``tmp/``, truncated artifacts, and entries a
+        partial delete left without their ``meta.json`` or payload.  Each
+        problem is reported as ``{"key", "path", "problem", "removed"}``;
+        with ``remove`` the offending entry (or stray staging directory)
+        is deleted — always safe, since a content-addressed entry is
+        recomputed on the next request.
+        """
+        problems: list[dict] = []
+
+        def _report(key: str | None, path: Path, problem: str) -> None:
+            removed = False
+            if remove:
+                if path.is_dir():
+                    shutil.rmtree(path, ignore_errors=True)
+                else:
+                    path.unlink(missing_ok=True)
+                removed = True
+            problems.append(
+                {
+                    "key": key,
+                    "path": str(path),
+                    "problem": problem,
+                    "removed": removed,
+                }
+            )
+
+        if self._objects.is_dir():
+            for shard in sorted(self._objects.iterdir()):
+                if not shard.is_dir():
+                    continue
+                for entry in sorted(shard.iterdir()):
+                    try:
+                        problem = self._verify_entry(entry.name)
+                    except ValueError:
+                        problem = "malformed store key"
+                    if problem is not None:
+                        _report(entry.name, entry, problem)
+        if self._tmp.is_dir():
+            for stray in sorted(self._tmp.iterdir()):
+                _report(None, stray, "stranded staging entry")
+        return problems

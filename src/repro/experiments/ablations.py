@@ -122,6 +122,7 @@ def meta_vs_static(
     machines: dict[str, MachineModel] | None = None,
     n_jobs: int = 1,
     store=None,
+    backend=None,
 ) -> dict[str, dict[str, dict[str, float]]]:
     """Modeled execution time: every static P vs. dynamic PAC schedules.
 
@@ -135,7 +136,10 @@ def meta_vs_static(
     large worst-case regret on some machine.
 
     The full grid is submitted to the engine in one batch: ``n_jobs``
-    shards it across worker processes, and stored replays are reused.
+    shards it across worker processes (or ``backend`` selects any
+    registered execution backend, e.g. ``"cluster"`` to drain the grid
+    through externally started ``repro worker`` daemons), and stored
+    replays are reused.
     """
     if machines is None:
         machines = machine_scenarios()
@@ -148,7 +152,9 @@ def meta_vs_static(
         for machine in machines.values()
         for label in schedules
     ]
-    results = iter(run_specs(specs, n_jobs=n_jobs, store=store))
+    results = iter(
+        run_specs(specs, n_jobs=n_jobs, store=store, backend=backend)
+    )
     out: dict[str, dict[str, dict[str, float]]] = {}
     for name in APP_NAMES:
         per_machine: dict[str, dict[str, float]] = {}

@@ -311,6 +311,7 @@ for _kind, _label in (
     ("schedule", "schedule"),
     ("machine", "machine scenario"),
     ("scale", "workload scale"),
+    ("backend", "execution backend"),
 ):
     declare_kind(_kind, _label)
 

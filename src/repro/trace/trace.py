@@ -173,13 +173,20 @@ class Trace:
     def save(self, path: str | Path) -> None:
         """Write the trace as (optionally gzipped) JSON.
 
-        Paths ending in ``.gz`` are gzip-compressed.
+        Paths ending in ``.gz`` are gzip-compressed with a pinned header
+        timestamp, so equal traces produce byte-identical files no
+        matter when or where they were generated (the guarantee "a
+        cluster sweep's store is bit-identical to a serial one" rests on
+        this).
         """
         path = Path(path)
         payload = json.dumps(self.to_json(), separators=(",", ":"))
         if path.suffix == ".gz":
-            with gzip.open(path, "wt", encoding="utf-8") as fh:
-                fh.write(payload)
+            with open(path, "wb") as raw:
+                with gzip.GzipFile(
+                    filename="", mode="wb", fileobj=raw, mtime=0
+                ) as fh:
+                    fh.write(payload.encode("utf-8"))
         else:
             path.write_text(payload, encoding="utf-8")
 
