@@ -28,7 +28,7 @@ from ..clustering import (
     cluster_flags,
     gradient_indicator,
 )
-from ..geometry import Box, BoxList, rasterize_mask
+from ..geometry import Box, BoxList, bounding_box, rasterize_mask
 from ..hierarchy import GridHierarchy, PatchLevel
 from ..trace import Trace, TraceStep
 
@@ -188,6 +188,35 @@ def _resample(array: np.ndarray, target: tuple[int, ...], reduce: str) -> np.nda
     return out
 
 
+def _flag_window(
+    flagged: np.ndarray,
+    shape: tuple[int, ...],
+    win_lo: tuple[int, ...],
+    win_hi: tuple[int, ...],
+) -> np.ndarray:
+    """Resampled boolean flags restricted to a level-space window.
+
+    ``flagged`` is the thresholded shadow-resolution boolean; the window
+    ``[win_lo, win_hi)`` lives in the level's index space ``shape`` and
+    must be aligned to each upsampled axis's resample factor.  Cropping
+    the source first commutes exactly with :func:`_resample` (per-axis
+    repeat / block-``any`` are local), so this equals the window slice of
+    the full-level resample without materializing it.
+    """
+    crop = flagged
+    for axis in range(flagged.ndim):
+        src, dst = flagged.shape[axis], shape[axis]
+        if dst >= src:
+            f = dst // src
+            sl = slice(win_lo[axis] // f, win_hi[axis] // f)
+        else:
+            g = src // dst
+            sl = slice(win_lo[axis] * g, win_hi[axis] * g)
+        crop = crop[(slice(None),) * axis + (sl,)]
+    win_shape = tuple(h - l for l, h in zip(win_lo, win_hi))
+    return _resample(crop, win_shape, reduce="any")
+
+
 def build_hierarchy(
     indicator: np.ndarray, config: TraceGenConfig
 ) -> GridHierarchy:
@@ -198,6 +227,12 @@ def build_hierarchy(
     refined by level ``l - 1``; flags are buffered, clustered with
     Berger--Rigoutsos, and the clustered boxes are clipped against the
     refined parent patches so proper nesting holds *exactly*.
+
+    All per-level arrays are windowed to the refined parent region's
+    bounding box (grown by the buffer width, aligned to the resample
+    factors): flags can only survive inside the parent region, so the
+    window is exact — and a full-level array at ``ultra`` scale (1024^3
+    finest space) would be a gigabyte of bools per level per regrid.
     """
     if indicator.ndim != config.ndim:
         raise ValueError(
@@ -209,27 +244,60 @@ def build_hierarchy(
     for l in range(1, config.max_levels):
         shape = config.level_shape(l)
         tau = min(0.95, config.flag_threshold * config.threshold_growth ** (l - 1))
+        # Constant *physical* buffer width: scale by the level's ratio
+        # relative to level 1.
+        width = (
+            config.buffer_width * config.refine_ratio ** (l - 1)
+            if config.buffer_width
+            else 0
+        )
+        # Proper nesting: only refine inside the parent's refined region.
+        parent_refined = parent_boxes.refine(config.refine_ratio)
+        pbb = bounding_box(parent_refined.boxes)
+        # Window: parent bounding box grown by the buffer stencil (flags
+        # up to `width` outside the parent dilate into it), clipped to
+        # the domain, aligned to each upsampled axis's resample factor.
+        win_lo: list[int] = []
+        win_hi: list[int] = []
+        for ax in range(config.ndim):
+            f = (
+                shape[ax] // indicator.shape[ax]
+                if shape[ax] >= indicator.shape[ax]
+                else 1
+            )
+            lo = max(0, pbb.lo[ax] - width) // f * f
+            hi = -(-min(shape[ax], pbb.hi[ax] + width) // f) * f
+            win_lo.append(lo)
+            win_hi.append(hi)
+        wlo, whi = tuple(win_lo), tuple(win_hi)
+        win_shape = tuple(h - lo for lo, h in zip(wlo, whi))
         # Threshold at the shadow resolution, then resample the *boolean*:
         # ``max(block) > tau == any(block > tau)`` and upsampling commutes
         # with the comparison, so this is bit-identical to resampling the
         # float indicator first — without ever materializing a
-        # full-level-resolution float array (at paper-scale 3-D the
-        # finest level is 512^3: a gigabyte as float64, 1/8th as bool).
-        flags = _resample(indicator > tau, shape, reduce="any")
-        if config.buffer_width:
-            # Constant *physical* buffer width: scale by the level's ratio
-            # relative to level 1.
-            width = config.buffer_width * config.refine_ratio ** (l - 1)
+        # full-level-resolution float array.
+        flags = _flag_window(indicator > tau, shape, wlo, whi)
+        if width:
+            # Binary max dilation: reflect == clip at true domain edges;
+            # at artificial window edges every cell that can survive the
+            # parent mask is >= width away, so its stencil is in-window.
             flags = buffer_flags(flags, width)
-        # Proper nesting: only refine inside the parent's refined region.
-        parent_refined = parent_boxes.refine(config.refine_ratio)
+        wbox = Box(wlo, whi)
+        shifted_parents: list[Box] = []
+        neg = tuple(-x for x in wlo)
+        for p in parent_refined:
+            piece = p.intersect(wbox)  # always whole: parents lie in pbb
+            if piece is not None:
+                shifted_parents.append(piece.shift(neg))
         parent_mask = rasterize_mask(
-            parent_refined, Box((0,) * config.ndim, shape)
+            shifted_parents, Box((0,) * config.ndim, win_shape)
         )
         flags &= parent_mask
         if not flags.any():
             break
-        clusters = cluster_flags(flags, config.cluster)
+        # Berger--Rigoutsos first shrinks to the flag bounding box, so
+        # clustering the window and shifting is exact.
+        clusters = [b.shift(wlo) for b in cluster_flags(flags, config.cluster)]
         # Clip against parent patches: guarantees exact nesting even when
         # clustering swallowed unflagged filler cells outside the parent.
         clipped: list[Box] = []

@@ -12,6 +12,11 @@ All experiments run off the same deterministic traces (seeded kernels, see
   factor-2 refinement (a 512^3 finest index space, ~134M fine cells).
   A single dense owner raster of the finest level alone would be half a
   gigabyte; the sparse simulator replays it in ordinary memory;
+* ``"ultra"`` — the pair-index stress workload: 64^3 base, 5 levels (a
+  1024^3 finest index space, ~1.07B fine cells).  Only tractable on the
+  indexed pair kernels — the quadratic candidate products of its
+  fragmented distributions are out of reach for the brute-force
+  broadcast under CI memory/time limits;
 * ``"small"`` — a fast variant for unit tests and CI benchmarks.
 
 Traces are cached twice: in memory per process, and on disk in the
@@ -133,6 +138,25 @@ def _deep_scale(ndim: int = 3) -> TraceGenConfig:
 
 @register(
     "scale",
+    "ultra",
+    description="3-D pair-index stress: 64^3 base, 5 levels (1024^3 finest space)",
+)
+def _ultra_scale(ndim: int = 3) -> TraceGenConfig:
+    if ndim != 3:
+        raise ValueError(
+            f"the 'ultra' scale is the 3-D pair-index stress workload; "
+            f"ndim={ndim} has no ultra config"
+        )
+    return TraceGenConfig(
+        base_shape=(64, 64, 64),
+        max_levels=5,
+        nsteps=20,
+        regrid_interval=4,
+    )
+
+
+@register(
+    "scale",
     "small",
     description="fast variant for unit tests and CI benchmarks",
 )
@@ -168,22 +192,33 @@ def paper_config(scale: str = "paper", ndim: int = 2) -> TraceGenConfig:
     return registry("scale").create(scale, ndim=ndim)
 
 
-#: Shadow-grid cells per base-grid cell along each axis (all scales).
+#: Shadow-grid cells per base-grid cell along each axis (default).
 SHADOW_FACTOR = 4
+
+#: Per-scale shadow-factor overrides.  ``ultra``'s 64^3 base grid at the
+#: default factor would mean 256^3 shadow arrays — the trace generator's
+#: kernels keep ~7 such float64 fields alive (~940 MB), blowing the 2 GB
+#: CI budget on state that only *drives* refinement flags.  Factor 2
+#: (128^3, ~117 MB) preserves plenty of feature resolution.  Existing
+#: scales are untouched, so their content hashes are stable (the shadow
+#: shape is embedded explicitly in every trace spec payload).
+_SHADOW_FACTOR_OVERRIDES = {"ultra": 2}
 
 
 def shadow_shape(scale: str, ndim: int) -> tuple[int, ...]:
     """Shadow-grid resolution of the canonical workloads.
 
-    Derived from the scale's base grid (``SHADOW_FACTOR`` x per axis) so
-    scales registered through the component registry get a consistent
-    kernel resolution instead of silently falling back to the built-in
-    small one.  For the built-in scales this reproduces the historical
-    values exactly (2-D: 256^2 paper / 64^2 small; 3-D: 64^3 / 32^3),
-    keeping every content hash stable.
+    Derived from the scale's base grid (``SHADOW_FACTOR`` x per axis,
+    minus per-scale overrides) so scales registered through the
+    component registry get a consistent kernel resolution instead of
+    silently falling back to the built-in small one.  For the built-in
+    scales this reproduces the historical values exactly (2-D: 256^2
+    paper / 64^2 small; 3-D: 64^3 / 32^3), keeping every content hash
+    stable.
     """
     config = paper_config(scale, ndim)
-    return tuple(SHADOW_FACTOR * extent for extent in config.base_shape)
+    factor = _SHADOW_FACTOR_OVERRIDES.get(scale, SHADOW_FACTOR)
+    return tuple(factor * extent for extent in config.base_shape)
 
 
 def workload_ndim(name: str) -> int:

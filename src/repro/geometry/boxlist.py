@@ -32,27 +32,24 @@ def intersection_volume(a: Sequence[Box], b: Sequence[Box]) -> int:
     """Total cell count of pairwise intersections ``sum_ij |a_i ∩ b_j|``.
 
     For internally-disjoint ``a`` and ``b`` this is exactly
-    ``|union(a) ∩ union(b)|``.  Uses a vectorized sweep over the cross
-    product of corner arrays; O(len(a)*len(b)) work but constant-factor
-    cheap in numpy.
+    ``|union(a) ∩ union(b)|``.  Delegates to the pair-index-accelerated
+    :func:`~repro.geometry.ownermap.overlap_volume`, so the candidate
+    product is pruned to near-linear at scale (``REPRO_PAIR_INDEX``
+    selects the path; brute force remains the cross-check).
     """
+    from .ownermap import overlap_volume
+
     a = [x for x in a if not x.empty]
     b = [x for x in b if not x.empty]
     if not a or not b:
         return 0
-    ndim = a[0].ndim
-    alo = np.array([x.lo for x in a], dtype=np.int64)  # (na, ndim)
-    ahi = np.array([x.hi for x in a], dtype=np.int64)
-    blo = np.array([x.lo for x in b], dtype=np.int64)  # (nb, ndim)
-    bhi = np.array([x.hi for x in b], dtype=np.int64)
-    # Broadcast to (na, nb, ndim): overlap width per dimension.
-    lo = np.maximum(alo[:, None, :], blo[None, :, :])
-    hi = np.minimum(ahi[:, None, :], bhi[None, :, :])
-    width = np.clip(hi - lo, 0, None)
-    vol = width[..., 0]
-    for d in range(1, ndim):
-        vol = vol * width[..., d]
-    return int(vol.sum())
+    corners_a = np.array(
+        [tuple(x.lo) + tuple(x.hi) for x in a], dtype=np.int64
+    )
+    corners_b = np.array(
+        [tuple(x.lo) + tuple(x.hi) for x in b], dtype=np.int64
+    )
+    return overlap_volume(corners_a, corners_b)
 
 
 def union_ncells(boxes: Sequence[Box]) -> int:

@@ -21,6 +21,14 @@ hierarchies); equality of owner maps is *semantic* — two maps are equal
 when they assign the same rank to the same cells, regardless of how the
 region is cut into boxes — so ``from_raster(rasterize(m)) == m`` always
 holds.
+
+The pair kernels themselves (:func:`pair_intersections`,
+:func:`overlap_volume`, :func:`face_contacts`) dispatch through the
+grid-bucket pair-pruning index (:mod:`repro.geometry.pairindex`): at
+scale the O(n_a * n_b) candidate product is pruned to near-linear before
+the exact arithmetic runs, with output ordering guaranteed bit-identical
+to the historical broadcast (which survives as the ``bruteforce``
+cross-check path, selected via ``REPRO_PAIR_INDEX``).
 """
 
 from __future__ import annotations
@@ -30,6 +38,7 @@ from typing import Iterable, Iterator, Sequence
 import numpy as np
 
 from .box import Box
+from .pairindex import _record_brute, _record_exact, candidate_pairs
 from .raster import NO_OWNER, boxes_from_labels, paint_box
 
 __all__ = [
@@ -92,8 +101,25 @@ def pair_intersections(
     Returns ``(corners, ai, bj)``: the intersection corner rows plus the
     source row index into ``a`` and ``b`` for each (so callers can carry
     ranks or other per-box payloads through the intersection).
+
+    Pairs are emitted in ``ai``-major, ``bj``-minor order on every
+    candidate path (indexed or brute force), so downstream consumers are
+    bit-identical across ``REPRO_PAIR_INDEX`` modes.
     """
     ndim = a.shape[1] // 2
+    cand = candidate_pairs(a, b)
+    if cand is not None:
+        ai, bj = cand
+        lo = np.maximum(a[ai, :ndim], b[bj, :ndim])
+        hi = np.minimum(a[ai, ndim:], b[bj, ndim:])
+        keep = (hi > lo).all(axis=1)
+        _record_exact(int(keep.sum()))
+        return (
+            np.concatenate((lo[keep], hi[keep]), axis=1),
+            ai[keep],
+            bj[keep],
+        )
+    _record_brute(a.shape[0] * b.shape[0])
     out_c: list[np.ndarray] = []
     out_i: list[np.ndarray] = []
     out_j: list[np.ndarray] = []
@@ -110,6 +136,7 @@ def pair_intersections(
     if not out_c:
         empty = np.empty(0, dtype=np.int64)
         return np.empty((0, 2 * ndim), dtype=np.int64), empty, empty
+    _record_exact(sum(c.shape[0] for c in out_c))
     return (
         np.concatenate(out_c),
         np.concatenate(out_i),
@@ -120,6 +147,16 @@ def pair_intersections(
 def overlap_volume(a: np.ndarray, b: np.ndarray) -> int:
     """``sum_ij |a_i ∩ b_j|`` over two corner arrays (rank-agnostic)."""
     ndim = a.shape[1] // 2
+    cand = candidate_pairs(a, b)
+    if cand is not None:
+        ai, bj = cand
+        lo = np.maximum(a[ai, :ndim], b[bj, :ndim])
+        hi = np.minimum(a[ai, ndim:], b[bj, ndim:])
+        width = np.clip(hi - lo, 0, None)
+        vol = np.prod(width, axis=1, dtype=np.int64)
+        _record_exact(int((vol > 0).sum()))
+        return int(vol.sum())
+    _record_brute(a.shape[0] * b.shape[0])
     total = 0
     for sl in _chunks(a.shape[0], b.shape[0]):
         lo = np.maximum(a[sl, None, :ndim], b[None, :, :ndim])
@@ -181,6 +218,42 @@ def face_contacts(
     out_a: list[np.ndarray] = []
     out_b: list[np.ndarray] = []
     out_area: list[np.ndarray] = []
+    # Touching boxes do not *intersect*, so the face query needs the
+    # closed-interval candidate set: abutting pairs cohabit a bucket too.
+    # One candidate pass serves all ndim axis filters; per-axis emission
+    # order (ai-major, bj-minor) matches the brute-force sweeps below.
+    cand = candidate_pairs(corners, corners, closed=True)
+    if cand is not None:
+        ai, bj = cand
+        rank_differs = ranks[ai] != ranks[bj]
+        for d in range(ndim):
+            sel = (hi[ai, d] == lo[bj, d]) & rank_differs
+            if not sel.any():
+                continue
+            ii, jj = ai[sel], bj[sel]
+            area = np.ones(ii.size, dtype=np.int64)
+            for e in range(ndim):
+                if e == d:
+                    continue
+                width = np.minimum(hi[ii, e], hi[jj, e]) - np.maximum(
+                    lo[ii, e], lo[jj, e]
+                )
+                area *= np.clip(width, 0, None)
+            keep = area > 0
+            if keep.any():
+                out_a.append(ranks[ii[keep]])
+                out_b.append(ranks[jj[keep]])
+                out_area.append(area[keep])
+        _record_exact(sum(x.size for x in out_a))
+        if not out_a:
+            empty32 = np.empty(0, dtype=np.int32)
+            return empty32, empty32, np.empty(0, dtype=np.int64)
+        return (
+            np.concatenate(out_a),
+            np.concatenate(out_b),
+            np.concatenate(out_area),
+        )
+    _record_brute(n * n)
     for d in range(ndim):
         for sl in _chunks(n, n):
             contact = hi[sl, None, d] == lo[None, :, d]
@@ -205,6 +278,7 @@ def face_contacts(
     if not out_a:
         empty32 = np.empty(0, dtype=np.int32)
         return empty32, empty32, np.empty(0, dtype=np.int64)
+    _record_exact(sum(x.size for x in out_a))
     return (
         np.concatenate(out_a),
         np.concatenate(out_b),

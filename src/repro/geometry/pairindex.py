@@ -1,0 +1,415 @@
+"""Grid-bucket pair pruning: sub-quadratic candidates for the pair kernels.
+
+The owner-map kernels (:func:`~repro.geometry.ownermap.pair_intersections`,
+:func:`~repro.geometry.ownermap.face_contacts`,
+:func:`~repro.geometry.ownermap.overlap_volume`) are exact sweeps over
+*candidate* box pairs.  Historically the candidate set was the full
+O(n_a * n_b) cross product; at ``deep`` scale and beyond almost all of
+those pairs are disjoint, and the broadcast dominates simulator
+wall-clock.  This module prunes the candidate set to near-linear before
+the exact arithmetic runs:
+
+* **grid** — boxes are bucketed into a coarse integer grid whose cell
+  size is the *median box extent* per axis (so a typical box touches
+  O(2^ndim) cells).  Cell incidences are packed into int64 keys
+  (mixed-radix over the grid extents) and the two inputs are joined on
+  sorted unique keys: only pairs sharing at least one bucket are
+  emitted.  Two boxes that intersect (or abut, for the *closed* face
+  query) always share a cell, so the candidate set is a superset of the
+  exact answer — pruning never changes results.
+* **sweep** — the fallback for degenerate aspect ratios (long skinny
+  boxes spanning many buckets blow up the incidence lists): a sorted
+  1-D interval sweep along the most selective axis.  Automatically
+  selected when the grid's cell incidences exceed
+  ``_GRID_INCIDENCE_FACTOR`` times the box count.
+* **bruteforce** — the original quadratic kernels, kept verbatim as the
+  cross-check path (``None`` from :func:`candidate_pairs` tells the
+  kernel to run its historical broadcast).
+
+Candidates are always deduplicated and returned in brute-force emission
+order (``ai``-major, ``bj``-minor via ``np.unique`` on packed pair
+keys), so every downstream kernel produces **bit-identical** outputs on
+every path — asserted by the property suite and by
+``TraceSimulator(cross_check=True)``.
+
+The active path is selected by the ``REPRO_PAIR_INDEX`` environment
+variable (``auto`` | ``grid`` | ``sweep`` | ``bruteforce``; default
+``auto`` = grid with a small-product brute-force cutoff) or forced
+in-process with :func:`pair_index_forced`.  :func:`pair_index_counters`
+exposes pruning effectiveness (candidate pairs generated vs. exact
+pairs surviving vs. the brute-force product) for the benchmark tables
+and ``repro describe --kind pair-index``.
+"""
+
+from __future__ import annotations
+
+import os
+from contextlib import contextmanager
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..registry import declare_kind, register
+
+__all__ = [
+    "PAIR_INDEX_MODES",
+    "PairKernelCounters",
+    "candidate_pairs",
+    "pair_index_counters",
+    "pair_index_forced",
+    "pair_index_mode",
+    "reset_pair_index_counters",
+]
+
+#: Recognized values of ``REPRO_PAIR_INDEX``.
+PAIR_INDEX_MODES = ("auto", "grid", "sweep", "bruteforce")
+
+#: ``auto`` runs the historical broadcast below this pair product — for
+#: tiny inputs the quadratic kernel beats the index's setup cost.
+_AUTO_BRUTE_CUTOFF = 16_384
+
+#: The grid path falls back to the sorted sweep when its cell-incidence
+#: lists exceed this factor times the box count (degenerate aspect
+#: ratios: boxes spanning many buckets each).
+_GRID_INCIDENCE_FACTOR = 32
+
+#: Row budget of the sweep's chunked prefix enumeration (mirrors
+#: ``ownermap._PAIR_CHUNK_CELLS``).
+_SWEEP_CHUNK_PAIRS = 16_000_000
+
+#: In-process override installed by :func:`pair_index_forced`.
+_FORCED_MODE: str | None = None
+
+
+def pair_index_mode() -> str:
+    """The active candidate-generation mode.
+
+    :func:`pair_index_forced` overrides take precedence over the
+    ``REPRO_PAIR_INDEX`` environment variable (read per call, so tests
+    and CI steps can flip it without re-importing).
+    """
+    mode = _FORCED_MODE or os.environ.get("REPRO_PAIR_INDEX", "auto")
+    if mode not in PAIR_INDEX_MODES:
+        raise ValueError(
+            f"REPRO_PAIR_INDEX must be one of {PAIR_INDEX_MODES}, got {mode!r}"
+        )
+    return mode
+
+
+@contextmanager
+def pair_index_forced(mode: str):
+    """Force one candidate mode for the dynamic extent of the block.
+
+    The simulator's ``cross_check`` and the property suite use this to
+    replay the same query on two paths and assert bit-identical output.
+    """
+    global _FORCED_MODE
+    if mode not in PAIR_INDEX_MODES:
+        raise ValueError(
+            f"pair-index mode must be one of {PAIR_INDEX_MODES}, got {mode!r}"
+        )
+    previous = _FORCED_MODE
+    _FORCED_MODE = mode
+    try:
+        yield
+    finally:
+        _FORCED_MODE = previous
+
+
+@dataclass
+class PairKernelCounters:
+    """Pruning-effectiveness accounting of the pair kernels.
+
+    ``pair_product`` is what a pure brute-force run would examine;
+    ``candidate_pairs`` is what the index actually emitted to the exact
+    arithmetic; ``exact_pairs`` is what survived it.  The gap between
+    the first two is the pruning win, the gap between the last two the
+    remaining slack of the index.
+    """
+
+    queries: int = 0
+    grid_queries: int = 0
+    sweep_queries: int = 0
+    brute_queries: int = 0
+    pair_product: int = 0
+    bruteforce_pairs: int = 0
+    candidate_pairs: int = 0
+    exact_pairs: int = 0
+
+    def as_dict(self) -> dict:
+        """JSON-able snapshot (benchmark tables, ``describe`` output)."""
+        return {
+            "queries": self.queries,
+            "grid_queries": self.grid_queries,
+            "sweep_queries": self.sweep_queries,
+            "brute_queries": self.brute_queries,
+            "pair_product": self.pair_product,
+            "bruteforce_pairs": self.bruteforce_pairs,
+            "candidate_pairs": self.candidate_pairs,
+            "exact_pairs": self.exact_pairs,
+        }
+
+    def pruning_ratio(self) -> float:
+        """Brute-force pairs avoided per emitted candidate (>= 1)."""
+        examined = self.candidate_pairs + self.bruteforce_pairs
+        if examined == 0:
+            return 1.0
+        return self.pair_product / examined
+
+
+_COUNTERS = PairKernelCounters()
+
+
+def pair_index_counters() -> PairKernelCounters:
+    """The live global counter struct (mutated by every pair kernel)."""
+    return _COUNTERS
+
+
+def reset_pair_index_counters() -> PairKernelCounters:
+    """Zero the counters; returns the struct for chaining."""
+    global _COUNTERS
+    _COUNTERS = PairKernelCounters()
+    return _COUNTERS
+
+
+def _record_exact(n: int) -> None:
+    """Called by the kernels with the surviving pair count."""
+    _COUNTERS.exact_pairs += int(n)
+
+
+def _record_brute(n_pairs: int) -> None:
+    """Called by the kernels when the historical broadcast runs."""
+    _COUNTERS.brute_queries += 1
+    _COUNTERS.bruteforce_pairs += int(n_pairs)
+
+
+# ---------------------------------------------------------------------------
+# candidate generation
+# ---------------------------------------------------------------------------
+
+def candidate_pairs(
+    a: np.ndarray, b: np.ndarray, closed: bool = False
+) -> tuple[np.ndarray, np.ndarray] | None:
+    """Candidate ``(ai, bj)`` index pairs of two corner arrays.
+
+    Returns ``None`` when the caller should run its brute-force
+    broadcast (``bruteforce`` mode, or ``auto`` below the small-product
+    cutoff); otherwise two int64 index arrays in canonical brute-force
+    emission order (``ai``-major, ``bj``-minor, no duplicates) that are
+    a superset of all intersecting pairs.
+
+    ``closed`` treats boxes as closed intervals ``[lo, hi]`` so *abutting*
+    boxes also cohabit a bucket — the face-contact query needs touching
+    pairs, not just overlapping ones.
+    """
+    n_a, n_b = a.shape[0], b.shape[0]
+    _COUNTERS.queries += 1
+    _COUNTERS.pair_product += n_a * n_b
+    mode = pair_index_mode()
+    if mode == "bruteforce":
+        return None
+    if mode == "auto" and n_a * n_b <= _AUTO_BRUTE_CUTOFF:
+        return None
+    if n_a == 0 or n_b == 0:
+        empty = np.empty(0, dtype=np.int64)
+        return empty, empty
+    if n_a == 1 or n_b == 1:
+        # One-row operand: the interval test along every axis *is* the
+        # candidate filter — O(n), no index to build.  This keeps the
+        # thousands of per-box subtraction queries the overlay kernels
+        # issue cheap even when an indexed mode is forced.
+        return _single_candidates(a, b, closed)
+    if mode == "sweep":
+        return _sweep_candidates(a, b, closed)
+    return _grid_candidates(a, b, closed)
+
+
+def _single_candidates(
+    a: np.ndarray, b: np.ndarray, closed: bool
+) -> tuple[np.ndarray, np.ndarray]:
+    """Exact candidates when either operand is a single box."""
+    ndim = a.shape[1] // 2
+    if closed:
+        hit = (a[:, None, :ndim] <= b[None, :, ndim:]).all(axis=2)
+        hit &= (a[:, None, ndim:] >= b[None, :, :ndim]).all(axis=2)
+    else:
+        hit = (a[:, None, :ndim] < b[None, :, ndim:]).all(axis=2)
+        hit &= (a[:, None, ndim:] > b[None, :, :ndim]).all(axis=2)
+    ai, bj = np.nonzero(hit)  # row-major: already ai-major, bj-minor
+    _COUNTERS.candidate_pairs += ai.size
+    return ai.astype(np.int64), bj.astype(np.int64)
+
+
+def _canonical(ai: np.ndarray, bj: np.ndarray, n_b: int) -> tuple[np.ndarray, np.ndarray]:
+    """Dedup + sort into brute-force emission order (ai-major, bj-minor)."""
+    if ai.size == 0:
+        empty = np.empty(0, dtype=np.int64)
+        return empty, empty
+    packed = np.unique(ai.astype(np.int64) * np.int64(n_b) + bj)
+    _COUNTERS.candidate_pairs += packed.size
+    return packed // n_b, packed % n_b
+
+
+def _grid_candidates(
+    a: np.ndarray, b: np.ndarray, closed: bool
+) -> tuple[np.ndarray, np.ndarray]:
+    """Bucket-join candidates (see module docstring for the scheme)."""
+    ndim = a.shape[1] // 2
+    lo = np.concatenate((a[:, :ndim], b[:, :ndim]))
+    hi = np.concatenate((a[:, ndim:], b[:, ndim:]))
+    extents = hi - lo
+    # Cell size: the median box extent per axis — a typical box then
+    # touches at most 2 cells per axis.  max(1, ...) guards thin boxes.
+    cell = np.maximum(1, np.median(extents, axis=0).astype(np.int64))
+    inclusive_hi = hi if closed else hi - 1
+    while True:
+        base = lo.min(axis=0) // cell
+        dims = inclusive_hi.max(axis=0) // cell - base + 1
+        # int64 key packing must not overflow: grow cells until the grid
+        # extent product fits (2 bits of headroom).
+        if int(np.prod([int(d) for d in dims])) < 2**62:
+            break
+        cell = cell * 2
+    lo_cell = lo // cell - base
+    hi_cell = inclusive_hi // cell - base
+    spans = hi_cell - lo_cell + 1
+    incidences = int(np.prod(spans, axis=1, dtype=np.int64).sum())
+    if incidences > _GRID_INCIDENCE_FACTOR * (a.shape[0] + b.shape[0]) + 1024:
+        # Degenerate aspect ratios: enumerating the buckets would cost
+        # more than it prunes — fall back to the sorted sweep.
+        return _sweep_candidates(a, b, closed)
+    _COUNTERS.grid_queries += 1
+    strides = np.ones(ndim, dtype=np.int64)
+    for d in range(ndim - 2, -1, -1):
+        strides[d] = strides[d + 1] * dims[d + 1]
+    ka, ia = _cell_keys(lo_cell[: a.shape[0]], spans[: a.shape[0]], strides)
+    kb, ib = _cell_keys(lo_cell[a.shape[0]:], spans[a.shape[0]:], strides)
+    order_a = np.argsort(ka, kind="stable")
+    order_b = np.argsort(kb, kind="stable")
+    ka, ia = ka[order_a], ia[order_a]
+    kb, ib = kb[order_b], ib[order_b]
+    ua, start_a, count_a = np.unique(ka, return_index=True, return_counts=True)
+    ub, start_b, count_b = np.unique(kb, return_index=True, return_counts=True)
+    _, pa, pb = np.intersect1d(ua, ub, assume_unique=True, return_indices=True)
+    if pa.size == 0:
+        empty = np.empty(0, dtype=np.int64)
+        _COUNTERS.candidate_pairs += 0
+        return empty, empty
+    ca, cb = count_a[pa], count_b[pb]
+    sa, sb = start_a[pa], start_b[pb]
+    block = ca * cb  # pairs per shared bucket
+    starts = np.concatenate(([0], np.cumsum(block)[:-1]))
+    total = int(block.sum())
+    gid = np.repeat(np.arange(block.size), block)
+    t = np.arange(total, dtype=np.int64) - np.repeat(starts, block)
+    ai = ia[sa[gid] + t // cb[gid]]
+    bj = ib[sb[gid] + t % cb[gid]]
+    return _canonical(ai, bj, b.shape[0])
+
+
+def _cell_keys(
+    lo_cell: np.ndarray, spans: np.ndarray, strides: np.ndarray
+) -> tuple[np.ndarray, np.ndarray]:
+    """``(packed cell key, box id)`` per (cell, box) incidence.
+
+    Vectorized mixed-radix enumeration: every box emits one row per grid
+    cell it touches, keys packed with the global grid strides.
+    """
+    n, ndim = lo_cell.shape
+    counts = np.prod(spans, axis=1, dtype=np.int64)
+    total = int(counts.sum())
+    box_ids = np.repeat(np.arange(n, dtype=np.int64), counts)
+    starts = np.concatenate(([0], np.cumsum(counts)[:-1]))
+    rem = np.arange(total, dtype=np.int64) - np.repeat(starts, counts)
+    keys = np.zeros(total, dtype=np.int64)
+    for d in range(ndim - 1, -1, -1):
+        radix = spans[box_ids, d]
+        keys += (lo_cell[box_ids, d] + rem % radix) * strides[d]
+        rem //= radix
+    return keys, box_ids
+
+
+def _sweep_candidates(
+    a: np.ndarray, b: np.ndarray, closed: bool
+) -> tuple[np.ndarray, np.ndarray]:
+    """Sorted 1-D interval sweep along the most selective axis.
+
+    Exact along the sweep axis (candidates = pairs whose extents overlap
+    there); the remaining axes are filtered by the exact arithmetic
+    downstream, like any other candidate.
+    """
+    _COUNTERS.sweep_queries += 1
+    ndim = a.shape[1] // 2
+    n_a, n_b = a.shape[0], b.shape[0]
+    # Most selective axis: largest corner spread relative to the median
+    # extent — the axis along which intervals separate best.
+    lo_all = np.concatenate((a[:, :ndim], b[:, :ndim]))
+    hi_all = np.concatenate((a[:, ndim:], b[:, ndim:]))
+    spread = lo_all.max(axis=0) - lo_all.min(axis=0)
+    med = np.maximum(1, np.median(hi_all - lo_all, axis=0))
+    axis = int(np.argmax(spread / med))
+    a_lo, a_hi = a[:, axis], a[:, ndim + axis]
+    b_lo, b_hi = b[:, axis], b[:, ndim + axis]
+    order = np.argsort(b_lo, kind="stable")
+    b_lo_s = b_lo[order]
+    b_hi_s = b_hi[order]
+    # Candidates of row i: sorted-prefix j with b_lo_j < a_hi_i (<= when
+    # closed), filtered by b_hi_j > a_lo_i (>= when closed).
+    side = "right" if closed else "left"
+    upper = np.searchsorted(b_lo_s, a_hi, side=side)
+    out_i: list[np.ndarray] = []
+    out_j: list[np.ndarray] = []
+    csum = np.concatenate(([0], np.cumsum(upper)))
+    start = 0
+    while start < n_a:
+        end = int(
+            np.searchsorted(csum, csum[start] + _SWEEP_CHUNK_PAIRS, side="left")
+        )
+        end = max(start + 1, min(end, n_a))
+        counts = upper[start:end]
+        total = int(counts.sum())
+        if total:
+            ii = np.repeat(np.arange(start, end, dtype=np.int64), counts)
+            offs = np.concatenate(([0], np.cumsum(counts)[:-1]))
+            jj = np.arange(total, dtype=np.int64) - np.repeat(offs, counts)
+            keep = b_hi_s[jj] >= a_lo[ii] if closed else b_hi_s[jj] > a_lo[ii]
+            out_i.append(ii[keep])
+            out_j.append(order[jj[keep]])
+        start = end
+    if not out_i:
+        empty = np.empty(0, dtype=np.int64)
+        return empty, empty
+    return _canonical(np.concatenate(out_i), np.concatenate(out_j), n_b)
+
+
+# ---------------------------------------------------------------------------
+# registry exposure: `repro describe --kind pair-index`
+# ---------------------------------------------------------------------------
+
+declare_kind("pair-index", "pair-index mode")
+
+
+def _register_modes() -> None:
+    docs = {
+        "auto": (
+            "grid-bucket pruning with a brute-force cutoff below "
+            f"{_AUTO_BRUTE_CUTOFF} candidate products (the default)"
+        ),
+        "grid": (
+            "force grid buckets (cell size = median box extent per axis; "
+            "falls back to the sorted sweep when cell incidences exceed "
+            f"{_GRID_INCIDENCE_FACTOR}x the box count)"
+        ),
+        "sweep": "force the sorted interval sweep along the most selective axis",
+        "bruteforce": "force the historical O(n^2) broadcast (cross-check path)",
+    }
+    for name, description in docs.items():
+        register(
+            "pair-index",
+            name,
+            (lambda mode: lambda: pair_index_forced(mode))(name),
+            description=description,
+        )
+
+
+_register_modes()

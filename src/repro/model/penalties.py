@@ -34,6 +34,12 @@ constraint (see DESIGN.md, substitution table):
   (section 3.1);
 * dimension I compares them scale-invariantly: "beta_L = beta_C = 0.1
   would yield the same result as beta_L = beta_C = 0.4" (section 4.3).
+
+All penalty kernels (``beta_m``'s patch-set intersections, ``beta_C``'s
+region surfaces via :func:`~repro.geometry.face_contacts`) run through
+the grid-bucket pair index, so evaluating the dynamic state stays
+near-linear in the patch count at every scale (``REPRO_PAIR_INDEX``
+selects the path).
 """
 
 from __future__ import annotations

@@ -28,10 +28,13 @@ small atomic unit, select a large Q, choose fractional blocking"):
 assignment; ``q > 1`` trades locality for balance via LPT over chunks) and
 ``fractional_blocking`` (cell-granularity boundary blocks).
 
-Representation: only base-grid and atomic-unit-resolution arrays are ever
-materialized.  Bi-level block weights are accumulated patch by patch
-(exact integer-valued block-overlap volumes, identical to the dense
-``block_sum`` of the level masks), and the per-level output is a sparse
+Representation: only base-grid arrays are ever materialized.  Bi-level
+block weights are accumulated patch by patch (exact integer-valued
+block-overlap volumes, identical to the dense ``block_sum`` of the level
+masks) into a unit grid *windowed to the Core's bounding box*, unit
+assignment enumerates only the non-empty units sparsely (no
+``np.indices`` raster over the unit grid — the last volume-proportional
+allocation), and the per-level output is a sparse
 :class:`~repro.geometry.OwnerMap` — the unit blocks clipped against the
 level's patches inside the Core — so deep 3-D hierarchies never allocate
 a fine-level raster.
@@ -47,11 +50,9 @@ from scipy import ndimage
 
 from ..geometry import (
     Box,
-    NO_OWNER,
     OwnerMap,
     add_box_overlap,
     box_corners,
-    boxes_from_labels,
     boxes_from_mask,
     pair_intersections,
 )
@@ -139,6 +140,35 @@ def _assign_sequence(
     for c in range(nchunks):
         out[bounds[c] : bounds[c + 1]] = chunk_rank[c]
     return out
+
+
+def _merge_unit_runs(
+    coords: np.ndarray, ranks: np.ndarray
+) -> tuple[np.ndarray, np.ndarray]:
+    """Merge same-rank unit cells into runs along the last axis.
+
+    ``coords`` is ``(k, ndim)`` integer cell coordinates (any order,
+    no duplicates) with a rank per cell; returns ``(corners, ranks)``
+    of maximal row-major runs — the sparse replacement for lifting a
+    dense unit-owner raster through ``boxes_from_labels``.
+    """
+    k, ndim = coords.shape
+    if k == 0:
+        return np.empty((0, 2 * ndim), dtype=np.int64), ranks[:0]
+    # Row-major: axis 0 is the primary sort key (lexsort's last key).
+    order = np.lexsort(tuple(coords[:, d] for d in range(ndim - 1, -1, -1)))
+    c = coords[order]
+    r = ranks[order]
+    breaks = np.ones(k, dtype=bool)
+    breaks[1:] = (
+        (r[1:] != r[:-1])
+        | (c[1:, :-1] != c[:-1, :-1]).any(axis=1)
+        | (c[1:, -1] != c[:-1, -1] + 1)
+    )
+    starts = np.flatnonzero(breaks)
+    ends = np.append(starts[1:], k)
+    corners = np.concatenate((c[starts], c[ends - 1] + 1), axis=1)
+    return corners.astype(np.int64), r[starts]
 
 
 class NaturePlusFable(Partitioner):
@@ -278,20 +308,14 @@ class NaturePlusFable(Partitioner):
     ) -> None:
         """Expert blocking of the unrefined base-grid remainder (level 0).
 
-        The hue lives at base-grid resolution, so the dense blocking path
-        is cheap; the owner raster is lifted into sparse boxes afterwards.
+        The hue lives at base-grid resolution; its cells are enumerated
+        sparsely and merged into same-rank runs — no owner raster.
         """
         unit_w = np.where(mask, 1.0, 0.0)
-        owner = self._assign_units(unit_w, ranks)
-        hue_owner = np.where(mask, owner, np.int32(NO_OWNER))
-        boxes, values = boxes_from_labels(hue_owner)
-        if boxes:
-            parts[0].append(
-                (
-                    box_corners(boxes, mask.ndim),
-                    np.asarray(values, dtype=np.int32),
-                )
-            )
+        coords, seq_rank = self._assign_units(unit_w, ranks)
+        corners, run_ranks = _merge_unit_runs(coords, seq_rank)
+        if corners.shape[0]:
+            parts[0].append((corners, run_ranks))
 
     def _block_core(
         self,
@@ -313,13 +337,21 @@ class NaturePlusFable(Partitioner):
         ndim = core_mask.ndim
         nlev = hierarchy.nlevels
         core_corners = box_corners(boxes_from_mask(core_mask), ndim)
+        # Base-grid bounding box of the Core: the unit weight grid only
+        # needs to cover it.  At fractional blocking (unit == 1) a
+        # full-domain unit grid would be the last volume-proportional
+        # dense array in the partitioner; the window keeps it O(Core).
+        core_lo = core_corners[:, :ndim].min(axis=0)
+        core_hi = core_corners[:, ndim:].max(axis=0)
         for lc in range(0, nlev, p.bilevel_size):
             lf_range = range(lc, min(lc + p.bilevel_size, nlev))
             coarse_ratio = hierarchy.cumulative_ratio(lc)
             coarse_shape = tuple(s * coarse_ratio for s in core_mask.shape)
             unit = 1 if p.fractional_blocking else p.atomic_unit
             unit_shape = tuple(-(-s // unit) for s in coarse_shape)
-            unit_w = np.zeros(unit_shape, dtype=np.float64)
+            win_lo = (core_lo * coarse_ratio) // unit
+            win_hi = -(-(core_hi * coarse_ratio) // unit)
+            unit_w = np.zeros(tuple(win_hi - win_lo), dtype=np.float64)
             clipped: dict[int, np.ndarray] = {}
             for lf in lf_range:
                 sub = hierarchy.cumulative_ratio(lf) // coarse_ratio
@@ -332,7 +364,8 @@ class NaturePlusFable(Partitioner):
                 clipped[lf] = sect
                 w = float(hierarchy[lf].time_refinement_weight())
                 block = unit * sub
-                for row in sect:
+                shift = np.concatenate((win_lo, win_lo)) * block
+                for row in sect - shift:
                     add_box_overlap(
                         unit_w,
                         Box(tuple(row[:ndim]), tuple(row[ndim:])),
@@ -341,10 +374,11 @@ class NaturePlusFable(Partitioner):
                     )
             if not (unit_w > 0).any():
                 continue
-            unit_owner = self._assign_units(unit_w, ranks)
-            unit_boxes, unit_values = boxes_from_labels(unit_owner)
-            unit_corners = box_corners(unit_boxes, ndim) * unit
-            unit_ranks = np.asarray(unit_values, dtype=np.int32)
+            coords, seq_rank = self._assign_units(
+                unit_w, ranks, origin=win_lo, unit_shape=unit_shape
+            )
+            unit_box_corners, unit_ranks = _merge_unit_runs(coords, seq_rank)
+            unit_corners = unit_box_corners * unit
             # Paint every member level of the bi-level from one decomposition.
             for lf in lf_range:
                 sub = hierarchy.cumulative_ratio(lf) // coarse_ratio
@@ -355,26 +389,37 @@ class NaturePlusFable(Partitioner):
                     parts[lf].append((sect, unit_ranks[ai]))
 
     def _assign_units(
-        self, unit_w: np.ndarray, ranks: np.ndarray
-    ) -> np.ndarray:
+        self,
+        unit_w: np.ndarray,
+        ranks: np.ndarray,
+        origin: np.ndarray | None = None,
+        unit_shape: tuple[int, ...] | None = None,
+    ) -> tuple[np.ndarray, np.ndarray]:
         """SFC-ordered assignment of non-empty atomic units to ranks.
 
-        Returns an owner raster over the unit grid (``NO_OWNER`` where the
-        unit carries no weight).  Every cell the bi-level must own lies in
-        a unit with positive weight, so no fallback pass is needed — the
-        weights are integer counts times positive level weights.
+        ``unit_w`` may be a window into a larger unit grid: ``origin`` is
+        the window's offset (coordinates are made absolute *before* the
+        SFC ordering) and ``unit_shape`` the full grid's extents (fixing
+        the curve's order bits), so a windowed call assigns exactly what
+        a full-grid call would.  Only units with positive weight are
+        enumerated — ``(k, ndim)`` coordinates in SFC order plus a rank
+        per unit; no dense owner raster exists at any point.  Every cell
+        the bi-level must own lies in a unit with positive weight (the
+        weights are integer counts times positive level weights).
         """
         p = self.params
-        unit_shape = unit_w.shape
-        coords = np.indices(unit_shape).reshape(len(unit_shape), -1)
-        nonzero = unit_w.ravel() > 0
+        if unit_shape is None:
+            unit_shape = unit_w.shape
+        nonzero = np.nonzero(unit_w > 0)
+        coords = np.stack(nonzero, axis=1).astype(np.int64)
+        if origin is not None:
+            coords += np.asarray(origin, dtype=np.int64)
         order_bits = max(1, int(np.ceil(np.log2(max(unit_shape)))))
         order = sfc_order_nd(
-            [c[nonzero] for c in coords], curve=p.curve, order=order_bits
+            [coords[:, d] for d in range(coords.shape[1])],
+            curve=p.curve,
+            order=order_bits,
         )
-        seq_w = unit_w.ravel()[nonzero][order]
+        seq_w = unit_w[nonzero][order]
         seq_rank = _assign_sequence(seq_w, ranks, p.q)
-        unit_owner = np.full(unit_w.size, NO_OWNER, dtype=np.int32)
-        flat_idx = np.flatnonzero(nonzero)[order]
-        unit_owner[flat_idx] = seq_rank
-        return unit_owner.reshape(unit_shape)
+        return coords[order], seq_rank

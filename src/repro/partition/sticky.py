@@ -29,7 +29,11 @@ overlay (previous owners clipped to the new owned region, fresh owners
 beneath), and the diffusion pass picks the first ``take`` movable cells
 in row-major scan order by binary-searching a scan-prefix region — the
 exact sparse counterpart of ``np.flatnonzero(movable)[:take]`` on a
-raster, bit-identical without materializing one.
+raster, bit-identical without materializing one.  The overlap queries
+behind both steps run through the grid-bucket pair index
+(:mod:`repro.geometry.pairindex`); all pair-index modes emit pairs in
+the same canonical order, so the remapper's output is bit-identical
+across ``REPRO_PAIR_INDEX`` settings.
 """
 
 from __future__ import annotations

@@ -6,8 +6,13 @@ consecutive distributions and per-rank loads — is computed on sparse
 :class:`~repro.geometry.OwnerMap` corner arrays: face-adjacency sweeps
 between owner boxes for the ghost metrics, broadcasted corner
 intersections for inter-level transfer and migration.  Cost scales with
-patch counts (O(boxes^2) pair sweeps), not with the volume of the finest
-index space — which is what makes paper-scale 3-D runs tractable.
+patch counts, not with the volume of the finest index space — and the
+pair sweeps themselves run through the grid-bucket pair index
+(:mod:`repro.geometry.pairindex`), so the candidate product is pruned to
+near-linear in the box count: ``deep`` and ``ultra`` 3-D runs are
+tractable end to end.  ``REPRO_PAIR_INDEX=bruteforce`` restores the
+historical quadratic sweeps (bit-identical results, asserted by the
+cross-check).
 
 Every public function also accepts the original dense owner rasters
 (int32 arrays, :data:`~repro.geometry.NO_OWNER` outside the refined

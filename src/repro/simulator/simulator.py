@@ -20,6 +20,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from ..geometry import pair_index_forced
 from ..hierarchy import GridHierarchy
 from ..metrics import relative_communication, relative_migration
 from ..partition import PartitionResult, Partitioner, proc_loads
@@ -220,7 +221,46 @@ class TraceSimulator:
         interlevel: int,
         migrated: int,
     ) -> None:
-        """Recompute all metrics on dense rasters and assert agreement."""
+        """Recompute all metrics on two cross-check paths and assert.
+
+        First the sparse box calculus is replayed with the pair index
+        forced to the historical ``bruteforce`` broadcast — the indexed
+        and quadratic kernels must agree *bit-identically*.  Then every
+        metric is recomputed on dense owner rasters as before.
+        """
+        with pair_index_forced("bruteforce"):
+            brute_comm = 0
+            brute_messages = 0.0
+            for level in hierarchy:
+                w = level.time_refinement_weight()
+                faces, pairs = ghost_face_stats(result.maps[level.index])
+                brute_comm += 2 * self.ghost_width * faces * w
+                brute_messages += 2 * pairs * w
+            brute_inter = 0
+            for level in hierarchy.levels[1:]:
+                brute_inter += (
+                    interlevel_transfer_cells(
+                        result.maps[level.index - 1],
+                        result.maps[level.index],
+                        level.ratio,
+                    )
+                    * level.time_refinement_weight()
+                )
+            brute_migrated = 0
+            if previous is not None:
+                brute_migrated = migration_cells(previous, result)
+        brute_checks = {
+            "ghost exchange": (comm_point_steps, brute_comm),
+            "message pairs": (messages, brute_messages),
+            "interlevel transfer": (interlevel, brute_inter),
+            "migration": (migrated, brute_migrated),
+        }
+        for name, (indexed, brute) in brute_checks.items():
+            if indexed != brute:
+                raise AssertionError(
+                    f"pair-index/bruteforce {name} mismatch: "
+                    f"{indexed} != {brute}"
+                )
         rasters = result.rasters()
         dense_comm = 0
         dense_messages = 0.0

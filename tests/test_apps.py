@@ -242,6 +242,68 @@ class TestBuildHierarchy:
         with pytest.raises(ValueError):
             build_hierarchy(np.zeros(16), TraceGenConfig())
 
+    @pytest.mark.parametrize("ndim,factor", [(2, 1), (2, 2), (2, 4), (3, 2)])
+    def test_windowed_equals_full_domain_reference(self, ndim, factor):
+        # build_hierarchy windows all per-level arrays to the refined
+        # parent's buffered bounding box; this must be *exactly* the
+        # hierarchy the straightforward full-domain arrays produce.
+        from repro.clustering import buffer_flags, cluster_flags
+        from repro.apps.base import _resample
+        from repro.geometry import Box, BoxList, rasterize_mask
+        from repro.hierarchy import GridHierarchy, PatchLevel
+
+        def reference(indicator, config):
+            domain = Box((0,) * config.ndim, config.base_shape)
+            levels = [PatchLevel(0, [domain], ratio=1)]
+            parents = BoxList([domain])
+            for l in range(1, config.max_levels):
+                shape = config.level_shape(l)
+                tau = min(
+                    0.95,
+                    config.flag_threshold
+                    * config.threshold_growth ** (l - 1),
+                )
+                flags = _resample(indicator > tau, shape, reduce="any")
+                if config.buffer_width:
+                    width = (
+                        config.buffer_width
+                        * config.refine_ratio ** (l - 1)
+                    )
+                    flags = buffer_flags(flags, width)
+                refined = parents.refine(config.refine_ratio)
+                flags &= rasterize_mask(
+                    refined, Box((0,) * config.ndim, shape)
+                )
+                if not flags.any():
+                    break
+                clipped = [
+                    piece
+                    for box in cluster_flags(flags, config.cluster)
+                    for parent in refined
+                    if (piece := box.intersect(parent)) is not None
+                ]
+                patches = BoxList(clipped).disjointified().coalesced()
+                if patches.ncells == 0:
+                    break
+                levels.append(
+                    PatchLevel(l, patches, ratio=config.refine_ratio)
+                )
+                parents = patches
+            return GridHierarchy(domain, levels)
+
+        rng = np.random.default_rng(ndim * 10 + factor)
+        base = (16,) * ndim if ndim == 2 else (8,) * ndim
+        cfg = TraceGenConfig(base_shape=base, max_levels=4)
+        for trial in range(4):
+            ind = rng.random(tuple(factor * s for s in base)) ** 3
+            got = build_hierarchy(ind, cfg)
+            ref = reference(ind, cfg)
+            assert got.nlevels == ref.nlevels
+            for a, b in zip(got, ref):
+                assert sorted(
+                    (x.lo, x.hi) for x in a.patches
+                ) == sorted((x.lo, x.hi) for x in b.patches)
+
 
 class TestGenerateTrace:
     def test_snapshot_schedule(self, small_traces):

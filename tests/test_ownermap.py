@@ -22,7 +22,13 @@ from repro.geometry import (
     BoxList,
     NO_OWNER,
     OwnerMap,
+    face_contacts,
+    overlap_volume,
+    pair_index_counters,
+    pair_index_forced,
+    pair_intersections,
     rasterize_owners,
+    reset_pair_index_counters,
 )
 from repro.hierarchy import GridHierarchy, PatchLevel
 from repro.partition import (
@@ -171,6 +177,140 @@ class TestMetricsAgree:
         assert migration_cells(prev, cur) == migration_cells_dense(
             prev_rasters, cur_rasters
         )
+
+
+def corner_arrays(ndim: int, max_boxes: int = 20, max_coord: int = 64,
+                  max_extent: int = 16):
+    """Random (possibly overlapping, possibly empty) corner arrays."""
+
+    def build(seed: int, n: int) -> np.ndarray:
+        rng = np.random.default_rng(seed)
+        lo = rng.integers(0, max_coord, size=(n, ndim))
+        ext = rng.integers(1, max_extent + 1, size=(n, ndim))
+        return np.concatenate((lo, lo + ext), axis=1).astype(np.int64)
+
+    return st.builds(
+        build, st.integers(0, 2**31 - 1), st.integers(0, max_boxes)
+    )
+
+
+INDEXED_MODES = ("grid", "sweep")
+
+
+def _assert_pair_results_identical(a: np.ndarray, b: np.ndarray) -> None:
+    """Indexed modes must be *bit-identical* to brute force: same corner
+    rows, same (ai, bj) source indices, same emission order."""
+    with pair_index_forced("bruteforce"):
+        ref = pair_intersections(a, b)
+        ref_vol = overlap_volume(a, b)
+    for mode in INDEXED_MODES:
+        with pair_index_forced(mode):
+            got = pair_intersections(a, b)
+            got_vol = overlap_volume(a, b)
+        assert got_vol == ref_vol
+        for r, g in zip(ref, got):
+            assert r.shape == g.shape
+            np.testing.assert_array_equal(r, g)
+
+
+def _assert_face_results_identical(
+    corners: np.ndarray, ranks: np.ndarray
+) -> None:
+    with pair_index_forced("bruteforce"):
+        ref = face_contacts(corners, ranks)
+    for mode in INDEXED_MODES:
+        with pair_index_forced(mode):
+            got = face_contacts(corners, ranks)
+        for r, g in zip(ref, got):
+            assert r.shape == g.shape
+            np.testing.assert_array_equal(r, g)
+
+
+@pytest.mark.parametrize("ndim", [1, 2, 3, 4])
+class TestPairIndex:
+    """The grid-bucket pair index is a pure pruning layer: every indexed
+    mode must reproduce the brute-force kernels bit for bit."""
+
+    @settings(max_examples=30, deadline=None)
+    @given(data=st.data())
+    def test_pair_intersections_identical(self, ndim, data):
+        a = data.draw(corner_arrays(ndim))
+        b = data.draw(corner_arrays(ndim))
+        _assert_pair_results_identical(a, b)
+
+    @settings(max_examples=30, deadline=None)
+    @given(data=st.data())
+    def test_face_contacts_identical(self, ndim, data):
+        corners = data.draw(corner_arrays(ndim))
+        seed = data.draw(st.integers(0, 2**31 - 1))
+        ranks = np.random.default_rng(seed).integers(
+            0, 4, size=corners.shape[0]
+        ).astype(np.int32)
+        _assert_face_results_identical(corners, ranks)
+
+    def test_all_boxes_in_one_cell(self, ndim):
+        # Adversarial: every box identical (maximal bucket collisions).
+        row = [0] * ndim + [2] * ndim
+        a = np.tile(np.asarray([row], dtype=np.int64), (40, 1))
+        _assert_pair_results_identical(a, a)
+        ranks = np.arange(40, dtype=np.int32)
+        _assert_face_results_identical(a, ranks)
+
+    def test_long_skinny_boxes(self, ndim):
+        # Adversarial: extreme aspect ratios spanning many buckets (the
+        # sweep-fallback trigger), crossing an orthogonal family.
+        n = 30
+        a = np.zeros((n, 2 * ndim), dtype=np.int64)
+        b = np.zeros((n, 2 * ndim), dtype=np.int64)
+        for i in range(n):
+            a[i, 0], a[i, ndim] = 0, 600  # long in axis 0
+            b[i, 0], b[i, ndim] = i * 3, i * 3 + 1
+            for d in range(1, ndim):
+                a[i, d], a[i, ndim + d] = i * 3, i * 3 + 1
+                b[i, d], b[i, ndim + d] = 0, 600  # long elsewhere
+        _assert_pair_results_identical(a, b)
+        both = np.concatenate((a, b))
+        ranks = np.arange(2 * n, dtype=np.int32)
+        _assert_face_results_identical(both, ranks)
+
+    def test_single_box_and_empty(self, ndim):
+        one = np.asarray(
+            [[0] * ndim + [3] * ndim], dtype=np.int64
+        )
+        empty = np.empty((0, 2 * ndim), dtype=np.int64)
+        _assert_pair_results_identical(one, one)
+        _assert_pair_results_identical(one, empty)
+        _assert_pair_results_identical(empty, one)
+        _assert_pair_results_identical(empty, empty)
+        _assert_face_results_identical(one, np.zeros(1, dtype=np.int32))
+        _assert_face_results_identical(empty, np.empty(0, dtype=np.int32))
+
+    def test_abutting_boxes_share_closed_bucket(self, ndim):
+        # Face contacts need *touching* pairs; a tiling of unit-offset
+        # slabs is all faces, no overlap.
+        n = 24
+        rows = []
+        for i in range(n):
+            lo = [i * 4] + [0] * (ndim - 1)
+            hi = [(i + 1) * 4] + [8] * (ndim - 1)
+            rows.append(lo + hi)
+        corners = np.asarray(rows, dtype=np.int64)
+        ranks = (np.arange(n) % 3).astype(np.int32)
+        _assert_face_results_identical(corners, ranks)
+
+    def test_counters_record_pruning(self, ndim):
+        reset_pair_index_counters()
+        rng = np.random.default_rng(7)
+        lo = rng.integers(0, 4000, size=(600, ndim))
+        a = np.concatenate((lo, lo + 4), axis=1).astype(np.int64)
+        with pair_index_forced("grid"):
+            pair_intersections(a, a)
+        c = pair_index_counters()
+        assert c.queries == 1
+        assert c.pair_product == 600 * 600
+        assert c.candidate_pairs < c.pair_product
+        assert c.exact_pairs <= c.candidate_pairs
+        assert c.pruning_ratio() > 1.0
 
 
 PARTITIONERS = [

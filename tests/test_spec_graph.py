@@ -288,9 +288,9 @@ class TestPlanCli:
         # describe command must pull in itself.
         out = self._cli(["describe", "--kind", "scale"], tmp_path)
         assert out.returncode == 0, out.stderr
-        assert "scale (3 registered)" in out.stdout
+        assert "scale (4 registered)" in out.stdout
         assert "paper" in out.stdout and "small" in out.stdout
-        assert "deep" in out.stdout
+        assert "deep" in out.stdout and "ultra" in out.stdout
 
     def test_cache_gc(self, tmp_path):
         sweep = self._cli(["sweep", *self.GRID, "--quiet"], tmp_path)
