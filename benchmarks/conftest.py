@@ -15,16 +15,76 @@ Figure and ablation benchmarks submit their replays through
 benchmark files — the Nature+Fable replay timed for Figure 5 is reused
 by the meta-vs-static grid.  A *re*-run of the suite therefore times the
 warm-store path; ``python -m repro cache clear`` restores cold timings.
+
+Each suite can also publish machine-readable results: call
+:func:`record_bench` with a case label, wall seconds, peak MB and a
+counter dict, and the session writes one ``BENCH_<suite>.json`` per
+suite into ``benchmarks/out/`` (override with ``REPRO_BENCH_OUT``) so
+CI can diff timings across commits without scraping stdout.
 """
 
 from __future__ import annotations
 
+import json
 import os
+from pathlib import Path
 
 import numpy as np
 import pytest
 
 from repro.experiments import APP_NAMES, paper_trace
+
+#: Version stamp of the BENCH_<suite>.json document schema.
+BENCH_SCHEMA = 1
+
+_BENCH_RECORDS: dict[str, list[dict]] = {}
+
+
+def bench_out_dir() -> Path:
+    """Where BENCH_<suite>.json documents land."""
+    default = Path(__file__).resolve().parent / "out"
+    return Path(os.environ.get("REPRO_BENCH_OUT", default))
+
+
+def record_bench(suite: str, case: str, wall_s: float,
+                 peak_mb: float | None = None,
+                 counters: dict | None = None, **extra) -> dict:
+    """Accumulate one machine-readable benchmark record.
+
+    ``suite`` names the output file (``BENCH_<suite>.json``); ``case``
+    identifies the measurement within it.  Extra keyword fields ride
+    along verbatim (speedups, sizes, ...).
+    """
+    record = {
+        "case": case,
+        "wall_s": float(wall_s),
+        "peak_mb": None if peak_mb is None else float(peak_mb),
+        "counters": {k: int(v) for k, v in (counters or {}).items()},
+    }
+    record.update(extra)
+    _BENCH_RECORDS.setdefault(suite, []).append(record)
+    return record
+
+
+def pytest_sessionfinish(session, exitstatus):
+    """Write one BENCH_<suite>.json per suite that recorded anything."""
+    if not _BENCH_RECORDS:
+        return
+    out = bench_out_dir()
+    out.mkdir(parents=True, exist_ok=True)
+    for suite, records in sorted(_BENCH_RECORDS.items()):
+        doc = {
+            "schema": BENCH_SCHEMA,
+            "suite": suite,
+            "scale": bench_scale(),
+            "records": records,
+        }
+        path = out / f"BENCH_{suite}.json"
+        path.write_text(
+            json.dumps(doc, indent=1, sort_keys=True) + "\n",
+            encoding="utf-8",
+        )
+        print(f"\nwrote {path} ({len(records)} records)")
 
 
 def bench_scale() -> str:

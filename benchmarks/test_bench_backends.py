@@ -19,7 +19,7 @@ import numpy as np
 
 from repro.engine import ClusterBackend, ResultStore, run_specs, sim_spec
 
-from conftest import BENCH_NPROCS
+from conftest import BENCH_NPROCS, record_bench
 
 PARTITIONERS = ("nature+fable", "patch-lpt")
 APPS = ("tp2d", "bl2d")
@@ -67,6 +67,10 @@ def test_backend_overhead(tmp_path, scale):
             f"  {name:<8} cold {cold[name]:8.3f} s   "
             f"warm resume {warm[name]:8.3f} s"
         )
+        record_bench("backends", f"cold:{name}:{scale}", cold[name],
+                     jobs=len(specs))
+        record_bench("backends", f"warm:{name}:{scale}", warm[name],
+                     jobs=len(specs))
 
     # Identical results across backends, and warm resumes never compute.
     for name in ("process", "cluster"):

@@ -23,7 +23,7 @@ import numpy as np
 from repro.engine import ResultStore, plan_specs, run_specs, sim_spec
 from repro.experiments import APP_NAMES
 
-from conftest import BENCH_NPROCS
+from conftest import BENCH_NPROCS, record_bench
 
 N_JOBS = int(os.environ.get("REPRO_BENCH_JOBS", "2"))
 
@@ -70,6 +70,11 @@ def test_sharded_sweep_speedup_and_warm_reuse(tmp_path, scale):
         f"  warm store re-run      {t_warm:8.3f} s   "
         f"speedup x{t_serial / t_warm:.2f}"
     )
+    record_bench("engine", f"serial:{scale}", t_serial, jobs=len(specs))
+    record_bench("engine", f"sharded-{N_JOBS}:{scale}", t_parallel,
+                 jobs=len(specs), speedup=t_serial / t_parallel)
+    record_bench("engine", f"warm:{scale}", t_warm,
+                 jobs=len(specs), speedup=t_serial / t_warm)
 
     # Parallel and serial must agree bit-for-bit; warm must not recompute.
     for ser, par, wrm in zip(serial, parallel, warm):

@@ -34,7 +34,7 @@ from repro.simulator import (
     migration_cells_dense,
 )
 
-from conftest import BENCH_NPROCS, bench_scale
+from conftest import BENCH_NPROCS, bench_scale, record_bench
 
 
 def _distributions(app: str, scale: str):
@@ -120,6 +120,13 @@ def _compare(app: str, scale: str) -> dict:
         f"speedup x{dense_s / max(sparse_s, 1e-9):.1f}, "
         f"memory x{dense_peak / max(sparse_peak, 1):.0f}"
     )
+    record_bench("owner_sparse", f"sparse:{row['workload']}", sparse_s,
+                 peak_mb=row["sparse_peak_mb"],
+                 cells=row["cells"], boxes=row["boxes"])
+    record_bench("owner_sparse", f"dense:{row['workload']}", dense_s,
+                 peak_mb=row["dense_peak_mb"],
+                 cells=row["cells"], boxes=row["boxes"],
+                 speedup=dense_s / max(sparse_s, 1e-9))
     return row
 
 

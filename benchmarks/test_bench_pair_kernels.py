@@ -37,7 +37,7 @@ from repro.simulator import (
     migration_cells,
 )
 
-from conftest import BENCH_NPROCS, bench_scale
+from conftest import BENCH_NPROCS, bench_scale, record_bench
 from test_bench_owner_sparse import _distributions
 
 
@@ -92,6 +92,11 @@ def _compare(app: str, scale: str, run_brute: bool = True) -> dict:
         f"({row['exact_pairs']:,} exact) | "
         f"indexed {indexed_s * 1e3:8.1f} ms / {row['indexed_peak_mb']:7.1f} MB"
     )
+    record_bench(
+        "pair_kernels", f"indexed:{row['workload']}", indexed_s,
+        peak_mb=row["indexed_peak_mb"], counters=counters,
+        cells=row["cells"], boxes=row["boxes"],
+    )
     if not run_brute:
         print(
             f"  {'':12} brute force NOT RUN: the quadratic sweep would "
@@ -106,6 +111,12 @@ def _compare(app: str, scale: str, run_brute: bool = True) -> dict:
     assert indexed_out == brute_out, "indexed/bruteforce metric mismatch"
     row["brute_s"] = brute_s
     row["brute_peak_mb"] = brute_peak / 1e6
+    record_bench(
+        "pair_kernels", f"bruteforce:{row['workload']}", brute_s,
+        peak_mb=row["brute_peak_mb"],
+        cells=row["cells"], boxes=row["boxes"],
+        speedup=brute_s / max(indexed_s, 1e-9),
+    )
     print(
         f"  {'':12} brute force {brute_s * 1e3:8.1f} ms / "
         f"{row['brute_peak_mb']:7.1f} MB | "

@@ -30,6 +30,7 @@ from ..clustering import (
 )
 from ..geometry import Box, BoxList, bounding_box, rasterize_mask
 from ..hierarchy import GridHierarchy, PatchLevel
+from ..telemetry import span
 from ..trace import Trace, TraceStep
 
 __all__ = ["ShadowApplication", "TraceGenConfig", "build_hierarchy", "generate_trace"]
@@ -328,15 +329,20 @@ def generate_trace(
     steps: list[TraceStep] = []
 
     def record(step: int) -> None:
-        indicator = gradient_indicator(app.indicator_field())
-        hierarchy = build_hierarchy(indicator, config)
-        steps.append(TraceStep(step=step, time=app.time, hierarchy=hierarchy))
+        with span("trace.snapshot", cat="trace", app=app.name, step=step):
+            indicator = gradient_indicator(app.indicator_field())
+            hierarchy = build_hierarchy(indicator, config)
+            steps.append(
+                TraceStep(step=step, time=app.time, hierarchy=hierarchy)
+            )
 
-    record(0)
-    for step in range(1, config.nsteps + 1):
-        app.advance()
-        if step % config.regrid_interval == 0:
-            record(step)
+    with span("trace.generate", cat="trace", app=app.name,
+              nsteps=config.nsteps, ndim=config.ndim):
+        record(0)
+        for step in range(1, config.nsteps + 1):
+            app.advance()
+            if step % config.regrid_interval == 0:
+                record(step)
     return Trace(
         name=app.name,
         steps=steps,

@@ -26,6 +26,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from ..geometry import Box
+from ..telemetry import span
 
 __all__ = ["ClusterParams", "cluster_flags"]
 
@@ -226,5 +227,7 @@ def cluster_flags(
     if flags.dtype != bool:
         flags = flags.astype(bool)
     out: list[Box] = []
-    _cluster_rec(flags, (0,) * flags.ndim, params, out)
+    with span("cluster.flags", cat="cluster", ndim=flags.ndim) as sp:
+        _cluster_rec(flags, (0,) * flags.ndim, params, out)
+        sp.annotate(nboxes=len(out))
     return out

@@ -82,7 +82,7 @@ from .store import DEFAULT_CACHE_DIR, ResultStore, default_store
 #: Version of this public surface (semver; major bumps are breaking).
 #: 1.1: execution backends (serial/process/cluster), ``run_specs``
 #: ``backend``/``workers``/``verbose`` parameters, ``repro worker``.
-ENGINE_API_VERSION = "1.1"
+ENGINE_API_VERSION = "1.2"
 
 __all__ = [
     # versions

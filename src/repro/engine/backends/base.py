@@ -21,6 +21,7 @@ import abc
 from typing import Callable, Sequence
 
 from ...registry import create, registry
+from ...telemetry import span
 from ..graph import MissingInputError, Plan
 from ..spec import RunSpec
 from ..store import ResultStore
@@ -102,9 +103,11 @@ class ExecutionBackend(abc.ABC):
             specs = plan.layer_specs(depth)
             if len(plan.layers) > 1:
                 say(f"layer {depth}: {len(specs)} jobs")
-            self.run_layer(
-                depth, specs, store, force=force, say=say, verbose=verbose
-            )
+            with span("plan.layer", cat="engine", depth=depth,
+                      jobs=len(specs), backend=self.name):
+                self.run_layer(
+                    depth, specs, store, force=force, say=say, verbose=verbose
+                )
 
     @abc.abstractmethod
     def run_layer(

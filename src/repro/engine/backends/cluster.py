@@ -18,6 +18,7 @@ a serial one no matter how many workers raced, crashed or retried.
 
 from __future__ import annotations
 
+import logging
 import os
 import subprocess
 import sys
@@ -26,6 +27,7 @@ from pathlib import Path
 from typing import Sequence
 
 from ...registry import register
+from ...telemetry import counter, gauge, telemetry_active
 from ..graph import Plan
 from ..spec import RunSpec
 from ..store import ResultStore
@@ -33,6 +35,8 @@ from .base import ExecutionBackend, Progress, layer_status
 from .queue import JobQueue
 
 __all__ = ["ClusterBackend", "ClusterJobError"]
+
+logger = logging.getLogger("repro.engine.cluster")
 
 
 class ClusterJobError(RuntimeError):
@@ -246,11 +250,20 @@ class ClusterBackend(ExecutionBackend):
             now = time.time()
             for lease in queue.expire_leases(self.lease_timeout, now=now):
                 key = lease.get("key")
+                counter(
+                    "queue.lease_expired", depth=depth,
+                    key=str(key)[:12], owner=lease.get("owner"),
+                    lease_age_s=now - (lease.get("heartbeat_at") or now),
+                )
                 if key in pending:
                     label = pending[key].label()
                     say(
                         f"lease expired: requeued {label} "
                         f"(worker {lease.get('owner')})"
+                    )
+                    logger.warning(
+                        "lease expired: requeued %s (worker %s)",
+                        label, lease.get("owner"),
                     )
                     last_progress = now
             leased = 0
@@ -259,6 +272,15 @@ class ClusterBackend(ExecutionBackend):
                     continue
                 if store.has(key):
                     done.add(key)
+                    if telemetry_active():
+                        ticket = queue.read_ticket(key)
+                        enqueued_at = (ticket or {}).get("enqueued_at")
+                        counter(
+                            "queue.job_done", depth=depth, key=key[:12],
+                            queue_wall_s=(now - enqueued_at)
+                            if enqueued_at else None,
+                            attempts=(ticket or {}).get("attempt", 0),
+                        )
                     queue.retire(key)  # belt and braces if a worker died
                     queue.release(key)
                     continue
@@ -275,9 +297,17 @@ class ClusterBackend(ExecutionBackend):
                 ):
                     queue.retire(key)
                     dead[key] = queue.failures(key)
+                    counter(
+                        "queue.retry_exhausted", depth=depth, key=key[:12],
+                        attempts=ticket.get("attempt", 0),
+                    )
                     say(
                         f"gave up on {spec.label()} after "
                         f"{ticket.get('attempt', 0)} attempts"
+                    )
+                    logger.error(
+                        "gave up on %s after %d attempts",
+                        spec.label(), ticket.get("attempt", 0),
                     )
                     last_progress = now
             if len(done) + len(dead) >= total:
@@ -292,6 +322,11 @@ class ClusterBackend(ExecutionBackend):
             if status != last_status:
                 if verbose:
                     say(status)
+                logger.debug("%s", status)
+                gauge("queue.depth", total - len(done) - len(dead),
+                      depth=depth)
+                gauge("queue.leased", leased, depth=depth)
+                gauge("queue.done", len(done), depth=depth)
                 last_status = status
                 last_progress = now
             if (
@@ -303,6 +338,9 @@ class ClusterBackend(ExecutionBackend):
                     say(
                         f"cluster: no alive workers on {queue.root} — start "
                         f"some with: repro worker --cache-dir {store.root}"
+                    )
+                    logger.warning(
+                        "no alive workers on %s", queue.root
                     )
                     warned_no_workers = True
                 elif all(p.poll() is not None for p in self._spawned):

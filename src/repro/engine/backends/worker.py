@@ -33,6 +33,7 @@ import time
 import traceback
 from typing import Callable
 
+from ...telemetry import flush_active, gauge, span
 from ..spec import RunSpec
 from ..store import ResultStore
 from .queue import JobQueue, new_worker_id
@@ -176,9 +177,21 @@ class Worker:
         key = ticket["key"]
         attempt = ticket.get("attempt", 0)
         stop_beat = threading.Event()
+        last_beat = time.monotonic()
 
         def _beat() -> None:
+            nonlocal last_beat
             while not stop_beat.wait(self.heartbeat_interval):
+                now = time.monotonic()
+                # Heartbeat lag: how far past the nominal interval this
+                # beat landed — a loaded worker (or filesystem) shows up
+                # here long before its lease expires.
+                gauge(
+                    "worker.heartbeat_lag",
+                    max(0.0, now - last_beat - self.heartbeat_interval),
+                    worker=self.worker_id, key=key[:12],
+                )
+                last_beat = now
                 self.queue.heartbeat(key, self.worker_id)
                 self.queue.heartbeat_worker(
                     self.worker_id, jobs_done=self.jobs_done
@@ -187,25 +200,33 @@ class Worker:
         beater = threading.Thread(target=_beat, daemon=True)
         beater.start()
         started = time.time()
+        job_span = span(
+            "worker.job", cat="worker", worker=self.worker_id,
+            key=key[:12], label=ticket.get("label", ""), attempt=attempt,
+        )
         try:
-            spec = RunSpec.from_json(ticket["spec"])
-            if spec.key() != key:
-                raise RuntimeError(
-                    f"ticket key {key[:12]} does not match its spec "
-                    f"(hash {spec.key()[:12]}): corrupt ticket"
+            with job_span:
+                spec = RunSpec.from_json(ticket["spec"])
+                if spec.key() != key:
+                    raise RuntimeError(
+                        f"ticket key {key[:12]} does not match its spec "
+                        f"(hash {spec.key()[:12]}): corrupt ticket"
+                    )
+                if any(key.startswith(p) for p in _injected_fail_prefixes()):
+                    raise RuntimeError(
+                        f"injected failure for {key[:12]} ({FAIL_KEYS_ENV})"
+                    )
+                result = execute(spec, self.store)
+                self.store.put_result(
+                    result,
+                    overwrite=bool(ticket.get("overwrite"))
+                    and spec.kind != "trace",
                 )
-            if any(key.startswith(p) for p in _injected_fail_prefixes()):
-                raise RuntimeError(
-                    f"injected failure for {key[:12]} ({FAIL_KEYS_ENV})"
+                self.queue.complete(key, self.worker_id)
+                self.jobs_done += 1
+                job_span.annotate(
+                    outcome="completed", wall_s=time.time() - started
                 )
-            result = execute(spec, self.store)
-            self.store.put_result(
-                result,
-                overwrite=bool(ticket.get("overwrite"))
-                and spec.kind != "trace",
-            )
-            self.queue.complete(key, self.worker_id)
-            self.jobs_done += 1
             self._log(
                 f"worker {self.worker_id} completed "
                 f"{ticket.get('label', key[:12])} "
@@ -213,6 +234,7 @@ class Worker:
             )
         except Exception:
             self.jobs_failed += 1
+            job_span.annotate(outcome="failed")
             self.queue.fail(
                 key, self.worker_id, attempt, traceback.format_exc()
             )
@@ -228,3 +250,6 @@ class Worker:
             self.queue.heartbeat_worker(
                 self.worker_id, jobs_done=self.jobs_done
             )
+            # Crash-safe event log: everything up to and including this
+            # job survives a SIGKILL during the next one.
+            flush_active()

@@ -25,7 +25,16 @@ Subcommands
     Print the spec dependency graph (``--dot`` for Graphviz).
 ``repro report``
     Regenerate the paper's figures through the engine and render them as
-    ASCII charts (``repro.experiments.report``).
+    ASCII charts (``repro.experiments.report``); ``--timings`` instead
+    aggregates span timings across every telemetry run profile in the
+    store.
+``repro profile``
+    Render the per-run timing tree (span hierarchy, self/total time,
+    pair-kernel pruning ratios) a telemetry-enabled run left behind.
+``repro top``
+    One-shot (or ``--watch``) status table of a cluster sweep: worker
+    registry with heartbeat ages, live leases, waiting tickets, recent
+    failures — read straight off the shared queue directory.
 ``repro describe``
     Introspect the component registries: every registered app,
     partitioner, schedule, machine and scale with its parameter schema.
@@ -37,19 +46,25 @@ Subcommands
     ``--remove``).
 
 The store location is ``$REPRO_CACHE_DIR`` (default ``~/.cache/repro``);
-``--cache-dir`` overrides it per invocation.
+``--cache-dir`` overrides it per invocation.  ``--telemetry json|chrome``
+(or ``$REPRO_TELEMETRY``) turns on span tracing for any run/sweep/worker
+invocation; event logs land under ``<store>/telemetry/`` and never touch
+content hashes.
 """
 
 from __future__ import annotations
 
 import argparse
 import json
+import logging
+import os
 import sys
 import time
 from typing import Sequence
 
 from ..registry import describe as describe_components
 from ..registry import registry
+from ..telemetry import TELEMETRY_ENV, TELEMETRY_MODES
 from .backends import ClusterJobError, resolve_backend
 from .executor import run_spec, run_specs
 from .graph import Plan, build_plan
@@ -58,6 +73,31 @@ from .spec import RunSpec, penalties_spec, sim_spec, trace_spec
 from .store import ResultStore, default_store
 
 __all__ = ["main", "build_parser"]
+
+
+#: ``--log-level`` vocabulary, mapped onto the stdlib levels.
+_LOG_LEVELS = ("debug", "info", "warning", "error")
+
+
+def _setup_logging(level: str) -> None:
+    """Configure the ``repro`` logger tree for CLI output.
+
+    Broker and worker chatter goes through ``logging`` (timestamped,
+    filterable by ``--log-level``) instead of bare prints; idempotent so
+    tests can call :func:`main` repeatedly in one process.
+    """
+    logger = logging.getLogger("repro")
+    logger.setLevel(getattr(logging, level.upper()))
+    if not logger.handlers:
+        handler = logging.StreamHandler(sys.stderr)
+        handler.setFormatter(
+            logging.Formatter(
+                "%(asctime)s %(levelname)-7s %(name)s: %(message)s",
+                datefmt="%Y-%m-%dT%H:%M:%S",
+            )
+        )
+        logger.addHandler(handler)
+        logger.propagate = False
 
 
 def _store_from(args) -> ResultStore:
@@ -402,6 +442,20 @@ def _cmd_report(args) -> int:
     from ..experiments.report import render_figure1, render_figure_app
 
     store = _store_from(args)
+    if args.timings:
+        from ..telemetry import aggregate_timings, render_timings
+
+        doc = aggregate_timings(store.root)
+        if not doc["runs"]:
+            print(
+                f"no run profiles under {store.root}/telemetry — execute "
+                "runs with --telemetry json|chrome (or REPRO_TELEMETRY) "
+                "first",
+                file=sys.stderr,
+            )
+            return 1
+        print(render_timings(doc))
+        return 0
     wanted = [int(f) for f in _split(args.figures)]
     for fig in wanted:
         if fig not in (1,) + tuple(FIGURE_APPS):
@@ -470,16 +524,19 @@ def _cmd_describe(args) -> int:
 def _cmd_worker(args) -> int:
     import signal
 
+    from ..telemetry import session
     from .backends import JobQueue, Worker
 
+    # --quiet survives as shorthand for --log-level warning (per-job
+    # lines are INFO); an explicit --log-level wins.
+    level = args.log_level or ("warning" if args.quiet else "info")
+    _setup_logging(level)
+    worker_logger = logging.getLogger("repro.worker")
     store = _store_from(args)
     queue = (
         JobQueue(args.queue_dir)
         if args.queue_dir
         else JobQueue.for_store(store)
-    )
-    log = None if args.quiet else (
-        lambda line: print(line, file=sys.stderr, flush=True)
     )
     worker = Worker(
         store,
@@ -490,21 +547,66 @@ def _cmd_worker(args) -> int:
         idle_timeout=args.idle_timeout,
         max_jobs=args.max_jobs,
         die_after_claims=args.die_after_claims,
-        log=log,
+        log=worker_logger.info,
     )
     # SIGTERM (the broker reaping auto-spawned daemons, systemd, ...)
     # requests a graceful exit after the current job.
     signal.signal(signal.SIGTERM, lambda signum, frame: worker.stop())
     try:
-        done = worker.run()
+        with session(store.root, name=f"worker-{worker.worker_id}",
+                     meta={"worker_id": worker.worker_id}):
+            done = worker.run()
     except KeyboardInterrupt:  # pragma: no cover - interactive only
         done = worker.jobs_done
-    if log is not None:
-        log(
-            f"worker {worker.worker_id} exiting: {done} completed, "
-            f"{worker.jobs_failed} failed"
-        )
+    worker_logger.info(
+        "worker %s exiting: %d completed, %d failed",
+        worker.worker_id, done, worker.jobs_failed,
+    )
     return 0
+
+
+def _cmd_profile(args) -> int:
+    from ..telemetry import load_run_profile, render_profile
+
+    store = _store_from(args)
+    try:
+        doc = load_run_profile(store.root, args.key)
+    except (FileNotFoundError, ValueError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    if args.json:
+        print(json.dumps(doc, indent=1, sort_keys=True))
+        return 0
+    print(render_profile(doc))
+    return 0
+
+
+def _cmd_top(args) -> int:
+    from ..telemetry import render_cluster_status
+    from .backends import JobQueue
+
+    store = _store_from(args)
+    queue = (
+        JobQueue(args.queue_dir)
+        if args.queue_dir
+        else JobQueue.for_store(store)
+    )
+    if not args.watch:
+        print(render_cluster_status(
+            store, queue, lease_timeout=args.lease_timeout
+        ))
+        return 0
+    try:
+        while True:  # pragma: no branch - exits via KeyboardInterrupt
+            snapshot = render_cluster_status(
+                store, queue, lease_timeout=args.lease_timeout
+            )
+            # Clear screen + home, like top(1); plain rewrite keeps it
+            # usable under watch(1) or a dumb terminal too.
+            print(f"\x1b[2J\x1b[H{snapshot}", flush=True)
+            time.sleep(args.watch)
+    except KeyboardInterrupt:
+        return 0
 
 
 def _cmd_cache(args) -> int:
@@ -584,9 +686,18 @@ def build_parser() -> argparse.ArgumentParser:
             "--cache-dir", default=None,
             help="store location (default: $REPRO_CACHE_DIR or ~/.cache/repro)",
         )
+        telemetry_opt(p)
         if nprocs:
             p.add_argument("--nprocs", type=int, default=16,
                            help="simulated processor count")
+
+    def telemetry_opt(p):
+        p.add_argument(
+            "--telemetry", default=None, choices=list(TELEMETRY_MODES),
+            help="span tracing for this invocation (sets $REPRO_TELEMETRY; "
+            "json = event log, chrome = event log + Chrome trace; "
+            "default: off)",
+        )
 
     def grid(p):
         p.add_argument("--apps", default="2d",
@@ -611,6 +722,11 @@ def build_parser() -> argparse.ArgumentParser:
             help="cluster: auto-spawn this many local `repro worker` "
             "daemons for the run (default: use externally started "
             "workers)",
+        )
+        p.add_argument(
+            "--log-level", default=None, choices=_LOG_LEVELS,
+            help="broker logging threshold on stderr (timestamped via "
+            "the `repro` logger; default: warnings only)",
         )
 
     run = sub.add_parser("run", help="run (or fetch) one job")
@@ -676,7 +792,11 @@ def build_parser() -> argparse.ArgumentParser:
                         help="fault injection for tests: SIGKILL self after "
                         "claiming the N-th job, before executing it")
     worker.add_argument("--quiet", action="store_true",
-                        help="suppress per-job log lines on stderr")
+                        help="shorthand for --log-level warning")
+    worker.add_argument("--log-level", default=None, choices=_LOG_LEVELS,
+                        help="stderr logging threshold (timestamped via "
+                        "the `repro` logger; default: info)")
+    telemetry_opt(worker)
     worker.set_defaults(func=_cmd_worker)
 
     plan = sub.add_parser(
@@ -707,7 +827,34 @@ def build_parser() -> argparse.ArgumentParser:
                         help="comma list of figure numbers (default: all)")
     report.add_argument("--n-jobs", type=int, default=1)
     report.add_argument("--quiet", action="store_true")
+    report.add_argument("--timings", action="store_true",
+                        help="aggregate telemetry span timings across the "
+                        "store's run profiles instead of figures")
     report.set_defaults(func=_cmd_report)
+
+    profile = sub.add_parser(
+        "profile",
+        help="render the timing tree a telemetry-enabled run recorded",
+    )
+    profile.add_argument("key", help="store key (or unique prefix)")
+    profile.add_argument("--cache-dir", default=None)
+    profile.add_argument("--json", action="store_true",
+                         help="print the raw run-profile document")
+    profile.set_defaults(func=_cmd_profile)
+
+    top = sub.add_parser(
+        "top", help="live worker/lease/queue status of a cluster sweep"
+    )
+    top.add_argument("--cache-dir", default=None)
+    top.add_argument("--queue-dir", default=None,
+                     help="job queue location (default: <store>/queue)")
+    top.add_argument("--watch", type=float, default=None, metavar="SECONDS",
+                     help="redraw every SECONDS until interrupted "
+                     "(default: one snapshot)")
+    top.add_argument("--lease-timeout", type=float, default=30.0,
+                     help="staleness threshold for workers/leases "
+                     "(default: 30s, the broker default)")
+    top.set_defaults(func=_cmd_top)
 
     desc = sub.add_parser(
         "describe", help="introspect the component registries"
@@ -743,6 +890,12 @@ def build_parser() -> argparse.ArgumentParser:
 def main(argv: Sequence[str] | None = None) -> int:
     """CLI entry point; returns the process exit code."""
     args = build_parser().parse_args(argv)
+    # Exported (not just stashed on args) so process-pool shards and
+    # auto-spawned cluster workers inherit the telemetry mode.
+    if getattr(args, "telemetry", None):
+        os.environ[TELEMETRY_ENV] = args.telemetry
+    if getattr(args, "log_level", None):
+        _setup_logging(args.log_level)
     try:
         return args.func(args)
     except ClusterJobError as exc:

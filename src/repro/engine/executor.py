@@ -27,6 +27,7 @@ from typing import Callable, Iterable, Sequence
 import numpy as np
 
 from ..simulator import TraceSimulator
+from ..telemetry import run_scope, session, span
 from .graph import build_plan
 from .components import create, is_schedule, resolve_machine
 from .spec import RunResult, RunSpec
@@ -147,8 +148,20 @@ def execute(spec: RunSpec, store: ResultStore | None = None) -> RunResult:
 
     The workload trace itself still goes through the trace cache, so
     repeated executions only pay for the simulator/model work.
+
+    Every execution runs inside a telemetry
+    :func:`~repro.telemetry.run_scope`: with telemetry enabled this
+    opens the per-run ``run`` span, scopes the pair-kernel counters to
+    the run, and publishes a run profile for ``repro profile <key>``
+    under ``<store>/telemetry/`` — no matter which backend (or host)
+    performed the execution.  With telemetry off the scope is a no-op.
     """
     store = store or default_store()
+    with run_scope(spec, store):
+        return _execute_kind(spec, store)
+
+
+def _execute_kind(spec: RunSpec, store: ResultStore) -> RunResult:
     if spec.kind == "sim":
         return _execute_sim(spec, store)
     if spec.kind == "penalties":
@@ -321,32 +334,40 @@ def run_specs(
     from .backends import resolve_backend
 
     engine_backend = resolve_backend(backend, n_jobs=n_jobs, workers=workers)
-    plan = build_plan(specs, store, force=force)
-    if force:
-        _forget_traces(
-            [node.spec for node in plan.submitted() if node.pending], store
+    # The sweep-wide telemetry session (a no-op when REPRO_TELEMETRY is
+    # off, or transparent when an outer session is already live).
+    with session(store.root, name="sweep",
+                 meta={"backend": engine_backend.name,
+                       "submitted": len(specs)}):
+        plan = build_plan(specs, store, force=force)
+        if force:
+            _forget_traces(
+                [node.spec for node in plan.submitted() if node.pending], store
+            )
+        say = progress or (lambda line: None)
+        counts = plan.counts()
+        implicit = counts["implicit_compute"]
+        extra = (
+            f" (+{implicit} trace input{'s' if implicit != 1 else ''})"
+            if implicit
+            else ""
         )
-    say = progress or (lambda line: None)
-    counts = plan.counts()
-    implicit = counts["implicit_compute"]
-    extra = (
-        f" (+{implicit} trace input{'s' if implicit != 1 else ''})"
-        if implicit
-        else ""
-    )
-    say(
-        f"{len(specs)} submitted: {counts['submitted']} unique, "
-        f"{counts['stored']} in store, {counts['compute']} to compute{extra}"
-    )
-    if verbose:
-        say(f"backend: {engine_backend.name}")
-    engine_backend.run_plan(
-        plan, store, force=force, progress=progress, verbose=verbose
-    )
-    by_key: dict[str, RunResult] = {}
-    for node in plan.submitted():
-        result = store.get_result(node.key)
-        if result is None:  # pragma: no cover - store corruption guard
-            result = run_spec(node.spec, store)
-        by_key[node.key] = result
+        say(
+            f"{len(specs)} submitted: {counts['submitted']} unique, "
+            f"{counts['stored']} in store, {counts['compute']} to compute{extra}"
+        )
+        if verbose:
+            say(f"backend: {engine_backend.name}")
+        with span("run_specs", cat="engine", backend=engine_backend.name,
+                  submitted=len(specs), compute=counts["compute"]):
+            engine_backend.run_plan(
+                plan, store, force=force, progress=progress, verbose=verbose
+            )
+        by_key: dict[str, RunResult] = {}
+        with span("collect_results", cat="engine", n=len(plan.submitted())):
+            for node in plan.submitted():
+                result = store.get_result(node.key)
+                if result is None:  # pragma: no cover - store corruption guard
+                    result = run_spec(node.spec, store)
+                by_key[node.key] = result
     return [by_key[spec.key()] for spec in specs]

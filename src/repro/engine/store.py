@@ -30,6 +30,7 @@ from typing import Iterator
 
 import numpy as np
 
+from ..telemetry import span
 from ..trace import Trace
 from .spec import RunResult, RunSpec
 
@@ -133,33 +134,39 @@ class ResultStore:
         unless ``overwrite`` replaces the stored entry)."""
         if self.has(result.key) and not overwrite:
             return
-        stage = self._stage(result.key)
-        meta = {
-            "key": result.key,
-            "kind": result.spec.kind,
-            "spec": result.spec.to_json(),
-            "meta": result.meta,
-        }
-        (stage / _META).write_text(
-            json.dumps(meta, sort_keys=True, indent=1), encoding="utf-8"
-        )
-        if result.arrays:
-            with open(stage / _SERIES, "wb") as fh:
-                np.savez(fh, **result.arrays)
-        self._publish(result.key, stage, overwrite=overwrite)
+        with span("store.put_result", cat="store", key=result.key[:12],
+                  kind=result.spec.kind):
+            stage = self._stage(result.key)
+            meta = {
+                "key": result.key,
+                "kind": result.spec.kind,
+                "spec": result.spec.to_json(),
+                "meta": result.meta,
+            }
+            (stage / _META).write_text(
+                json.dumps(meta, sort_keys=True, indent=1), encoding="utf-8"
+            )
+            if result.arrays:
+                with open(stage / _SERIES, "wb") as fh:
+                    np.savez(fh, **result.arrays)
+            self._publish(result.key, stage, overwrite=overwrite)
 
     def put_trace(self, spec: RunSpec, trace: Trace, meta: dict) -> None:
         """Publish a generated trace artifact under its spec key."""
         key = spec.key()
         if self.has(key):
             return
-        stage = self._stage(key)
-        doc = {"key": key, "kind": "trace", "spec": spec.to_json(), "meta": meta}
-        (stage / _META).write_text(
-            json.dumps(doc, sort_keys=True, indent=1), encoding="utf-8"
-        )
-        trace.save(stage / _TRACE)
-        self._publish(key, stage)
+        with span("store.put_trace", cat="store", key=key[:12]):
+            stage = self._stage(key)
+            doc = {
+                "key": key, "kind": "trace", "spec": spec.to_json(),
+                "meta": meta,
+            }
+            (stage / _META).write_text(
+                json.dumps(doc, sort_keys=True, indent=1), encoding="utf-8"
+            )
+            trace.save(stage / _TRACE)
+            self._publish(key, stage)
 
     # -- retrieval ---------------------------------------------------------
     def load_meta(self, key: str) -> dict | None:
@@ -199,32 +206,34 @@ class ResultStore:
         key = (
             spec_or_key if isinstance(spec_or_key, str) else spec_or_key.key()
         )
-        doc = self.load_meta(key)
-        if doc is None:
-            return None
-        spec_doc, meta = doc.get("spec"), doc.get("meta")
-        if not isinstance(spec_doc, dict) or not isinstance(meta, dict):
-            self._corrupt_miss(key, "meta.json lacks spec/meta")
-            return None
-        try:
-            spec = RunSpec.from_json(spec_doc)
-        except Exception as exc:
-            self._corrupt_miss(key, f"spec does not parse: {exc}")
-            return None
-        arrays: dict[str, np.ndarray] = {}
-        series = self.entry_dir(key) / _SERIES
-        if series.is_file():
-            try:
-                with np.load(series) as npz:
-                    arrays = {name: npz[name] for name in npz.files}
-            except _CORRUPTION_ERRORS as exc:
-                self._corrupt_miss(key, f"series.npz unreadable: {exc}")
+        with span("store.get_result", cat="store", key=key[:12]) as sp:
+            doc = self.load_meta(key)
+            if doc is None:
                 return None
-        elif doc.get("kind") in ("sim", "penalties"):
-            self._corrupt_miss(key, "series.npz missing")
-            return None
-        self._touch(key)
-        return RunResult(spec=spec, key=key, meta=meta, arrays=arrays)
+            spec_doc, meta = doc.get("spec"), doc.get("meta")
+            if not isinstance(spec_doc, dict) or not isinstance(meta, dict):
+                self._corrupt_miss(key, "meta.json lacks spec/meta")
+                return None
+            try:
+                spec = RunSpec.from_json(spec_doc)
+            except Exception as exc:
+                self._corrupt_miss(key, f"spec does not parse: {exc}")
+                return None
+            arrays: dict[str, np.ndarray] = {}
+            series = self.entry_dir(key) / _SERIES
+            if series.is_file():
+                try:
+                    with np.load(series) as npz:
+                        arrays = {name: npz[name] for name in npz.files}
+                except _CORRUPTION_ERRORS as exc:
+                    self._corrupt_miss(key, f"series.npz unreadable: {exc}")
+                    return None
+            elif doc.get("kind") in ("sim", "penalties"):
+                self._corrupt_miss(key, "series.npz missing")
+                return None
+            self._touch(key)
+            sp.annotate(hit=True)
+            return RunResult(spec=spec, key=key, meta=meta, arrays=arrays)
 
     def get_trace(self, spec_or_key: RunSpec | str) -> Trace | None:
         """Load a stored trace artifact, or ``None`` on a miss.
@@ -236,20 +245,22 @@ class ResultStore:
         key = (
             spec_or_key if isinstance(spec_or_key, str) else spec_or_key.key()
         )
-        path = self.entry_dir(key) / _TRACE
-        if not path.is_file():
-            if self.has(key):
-                # meta.json survived but the artifact did not: without
-                # retiring the husk, put_trace would no-op forever.
-                self._corrupt_miss(key, "trace.json.gz missing")
-            return None
-        try:
-            trace = Trace.load(path)
-        except _CORRUPTION_ERRORS as exc:
-            self._corrupt_miss(key, f"trace.json.gz unreadable: {exc}")
-            return None
-        self._touch(key)
-        return trace
+        with span("store.get_trace", cat="store", key=key[:12]) as sp:
+            path = self.entry_dir(key) / _TRACE
+            if not path.is_file():
+                if self.has(key):
+                    # meta.json survived but the artifact did not: without
+                    # retiring the husk, put_trace would no-op forever.
+                    self._corrupt_miss(key, "trace.json.gz missing")
+                return None
+            try:
+                trace = Trace.load(path)
+            except _CORRUPTION_ERRORS as exc:
+                self._corrupt_miss(key, f"trace.json.gz unreadable: {exc}")
+                return None
+            self._touch(key)
+            sp.annotate(hit=True)
+            return trace
 
     def remove(self, key: str) -> bool:
         """Delete one entry; returns whether anything was removed."""

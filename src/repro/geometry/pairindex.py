@@ -55,6 +55,7 @@ __all__ = [
     "PAIR_INDEX_MODES",
     "PairKernelCounters",
     "candidate_pairs",
+    "pair_counters_scope",
     "pair_index_counters",
     "pair_index_forced",
     "pair_index_mode",
@@ -157,30 +158,71 @@ class PairKernelCounters:
         return self.pair_product / examined
 
 
-_COUNTERS = PairKernelCounters()
+# Counter frames: every kernel event is charged to *all* live frames.
+# Frame 0 is the historical process-global accumulator (kept for the
+# benchmark tables and ``repro describe``); :func:`pair_counters_scope`
+# pushes scoped frames on top so the executor can attribute kernel work
+# to a single run — the fix for counters silently accumulating across
+# runs in one process (pool workers, daemons), which skewed per-run
+# pruning ratios.
+_COUNTER_STACK: list[PairKernelCounters] = [PairKernelCounters()]
 
 
 def pair_index_counters() -> PairKernelCounters:
-    """The live global counter struct (mutated by every pair kernel)."""
-    return _COUNTERS
+    """The process-global counter frame (mutated by every pair kernel).
+
+    Accumulates since import (or the last explicit reset).  For per-run
+    accounting use :func:`pair_counters_scope` instead.
+    """
+    return _COUNTER_STACK[0]
 
 
 def reset_pair_index_counters() -> PairKernelCounters:
-    """Zero the counters; returns the struct for chaining."""
-    global _COUNTERS
-    _COUNTERS = PairKernelCounters()
-    return _COUNTERS
+    """Zero the process-global frame; returns the struct for chaining.
+
+    Scoped frames pushed by :func:`pair_counters_scope` are unaffected
+    — a benchmark resetting the global cannot corrupt a concurrent
+    run's attribution.
+    """
+    _COUNTER_STACK[0] = PairKernelCounters()
+    return _COUNTER_STACK[0]
+
+
+@contextmanager
+def pair_counters_scope():
+    """A fresh counter frame covering only this dynamic extent.
+
+    Yields a :class:`PairKernelCounters` that sees exactly the kernel
+    work performed inside the block (the global frame keeps
+    accumulating in parallel).  Scopes nest: an inner scope's events
+    are charged to every enclosing frame too.
+    """
+    frame = PairKernelCounters()
+    _COUNTER_STACK.append(frame)
+    try:
+        yield frame
+    finally:
+        try:
+            _COUNTER_STACK.remove(frame)
+        except ValueError:  # pragma: no cover - double-exit guard
+            pass
+
+
+def _record(**deltas: int) -> None:
+    """Charge counter deltas to every live frame."""
+    for frame in _COUNTER_STACK:
+        for field, n in deltas.items():
+            setattr(frame, field, getattr(frame, field) + n)
 
 
 def _record_exact(n: int) -> None:
     """Called by the kernels with the surviving pair count."""
-    _COUNTERS.exact_pairs += int(n)
+    _record(exact_pairs=int(n))
 
 
 def _record_brute(n_pairs: int) -> None:
     """Called by the kernels when the historical broadcast runs."""
-    _COUNTERS.brute_queries += 1
-    _COUNTERS.bruteforce_pairs += int(n_pairs)
+    _record(brute_queries=1, bruteforce_pairs=int(n_pairs))
 
 
 # ---------------------------------------------------------------------------
@@ -203,8 +245,7 @@ def candidate_pairs(
     pairs, not just overlapping ones.
     """
     n_a, n_b = a.shape[0], b.shape[0]
-    _COUNTERS.queries += 1
-    _COUNTERS.pair_product += n_a * n_b
+    _record(queries=1, pair_product=n_a * n_b)
     mode = pair_index_mode()
     if mode == "bruteforce":
         return None
@@ -236,7 +277,7 @@ def _single_candidates(
         hit = (a[:, None, :ndim] < b[None, :, ndim:]).all(axis=2)
         hit &= (a[:, None, ndim:] > b[None, :, :ndim]).all(axis=2)
     ai, bj = np.nonzero(hit)  # row-major: already ai-major, bj-minor
-    _COUNTERS.candidate_pairs += ai.size
+    _record(candidate_pairs=ai.size)
     return ai.astype(np.int64), bj.astype(np.int64)
 
 
@@ -246,7 +287,7 @@ def _canonical(ai: np.ndarray, bj: np.ndarray, n_b: int) -> tuple[np.ndarray, np
         empty = np.empty(0, dtype=np.int64)
         return empty, empty
     packed = np.unique(ai.astype(np.int64) * np.int64(n_b) + bj)
-    _COUNTERS.candidate_pairs += packed.size
+    _record(candidate_pairs=packed.size)
     return packed // n_b, packed % n_b
 
 
@@ -278,7 +319,7 @@ def _grid_candidates(
         # Degenerate aspect ratios: enumerating the buckets would cost
         # more than it prunes — fall back to the sorted sweep.
         return _sweep_candidates(a, b, closed)
-    _COUNTERS.grid_queries += 1
+    _record(grid_queries=1)
     strides = np.ones(ndim, dtype=np.int64)
     for d in range(ndim - 2, -1, -1):
         strides[d] = strides[d + 1] * dims[d + 1]
@@ -293,7 +334,6 @@ def _grid_candidates(
     _, pa, pb = np.intersect1d(ua, ub, assume_unique=True, return_indices=True)
     if pa.size == 0:
         empty = np.empty(0, dtype=np.int64)
-        _COUNTERS.candidate_pairs += 0
         return empty, empty
     ca, cb = count_a[pa], count_b[pb]
     sa, sb = start_a[pa], start_b[pb]
@@ -338,7 +378,7 @@ def _sweep_candidates(
     there); the remaining axes are filtered by the exact arithmetic
     downstream, like any other candidate.
     """
-    _COUNTERS.sweep_queries += 1
+    _record(sweep_queries=1)
     ndim = a.shape[1] // 2
     n_a, n_b = a.shape[0], b.shape[0]
     # Most selective axis: largest corner spread relative to the median

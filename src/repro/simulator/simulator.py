@@ -16,12 +16,14 @@ raster reductions (:mod:`repro.simulator.raster_metrics`).
 
 from __future__ import annotations
 
+from contextlib import contextmanager
 from dataclasses import dataclass
 
 import numpy as np
 
-from ..geometry import pair_index_forced
+from ..geometry import pair_index_counters, pair_index_forced
 from ..hierarchy import GridHierarchy
+from ..telemetry import span, telemetry_active
 from ..metrics import relative_communication, relative_migration
 from ..partition import PartitionResult, Partitioner, proc_loads
 from ..trace import Trace
@@ -36,6 +38,34 @@ from .raster_metrics import (
 )
 
 __all__ = ["StepMetrics", "SimulationResult", "TraceSimulator"]
+
+
+@contextmanager
+def _kernel_span(name: str, **attrs):
+    """Span around one sparse-metric kernel phase.
+
+    Annotates the span with the pair-kernel counter *delta* it caused
+    (brute product examined, candidates emitted, exact survivors), which
+    is how the historical ``PairKernelCounters`` become span attributes.
+    A bare ``yield`` when telemetry is off — the per-step cost must stay
+    inside the <3% overhead budget.
+    """
+    if not telemetry_active():
+        yield
+        return
+    counters = pair_index_counters()
+    before = (
+        counters.pair_product,
+        counters.candidate_pairs,
+        counters.exact_pairs,
+    )
+    with span(name, cat="kernel", **attrs) as sp:
+        yield
+        sp.annotate(
+            pair_product=counters.pair_product - before[0],
+            candidate_pairs=counters.candidate_pairs - before[1],
+            exact_pairs=counters.exact_pairs - before[2],
+        )
 
 
 @dataclass(frozen=True, slots=True)
@@ -154,22 +184,25 @@ class TraceSimulator:
         # per level serves both the volume and the message count.
         comm_point_steps = 0
         messages = 0.0
-        for level in hierarchy:
-            w = level.time_refinement_weight()
-            faces, pairs = ghost_face_stats(result.maps[level.index])
-            comm_point_steps += 2 * self.ghost_width * faces * w
-            messages += 2 * pairs * w
+        with _kernel_span("kernel.ghost_faces", step=step):
+            for level in hierarchy:
+                w = level.time_refinement_weight()
+                faces, pairs = ghost_face_stats(result.maps[level.index])
+                comm_point_steps += 2 * self.ghost_width * faces * w
+                messages += 2 * pairs * w
         interlevel = 0
-        for level in hierarchy.levels[1:]:
-            coarse = result.maps[level.index - 1]
-            fine = result.maps[level.index]
-            w = level.time_refinement_weight()
-            interlevel += (
-                interlevel_transfer_cells(coarse, fine, level.ratio) * w
-            )
+        with _kernel_span("kernel.interlevel", step=step):
+            for level in hierarchy.levels[1:]:
+                coarse = result.maps[level.index - 1]
+                fine = result.maps[level.index]
+                w = level.time_refinement_weight()
+                interlevel += (
+                    interlevel_transfer_cells(coarse, fine, level.ratio) * w
+                )
         migrated = 0
         if previous is not None:
-            migrated = migration_cells(previous, result)
+            with _kernel_span("kernel.migration", step=step):
+                migrated = migration_cells(previous, result)
         if self.cross_check:
             self._cross_check(
                 hierarchy, result, previous, comm_point_steps, messages,
@@ -308,18 +341,24 @@ class TraceSimulator:
         metrics: list[StepMetrics] = []
         previous: PartitionResult | None = None
         prev_hierarchy: GridHierarchy | None = None
+        name = partitioner.describe().get("name", "?")
         for snap in trace:
-            result = partitioner.partition(snap.hierarchy, nprocs, previous)
-            metrics.append(
-                self.measure_step(
-                    snap.hierarchy,
-                    result,
-                    previous,
-                    prev_hierarchy,
-                    step=snap.step,
-                    time=snap.time,
+            with span("sim.partition", cat="sim", step=snap.step,
+                      partitioner=name, ncells=snap.hierarchy.ncells):
+                result = partitioner.partition(
+                    snap.hierarchy, nprocs, previous
                 )
-            )
+            with span("sim.measure_step", cat="sim", step=snap.step):
+                metrics.append(
+                    self.measure_step(
+                        snap.hierarchy,
+                        result,
+                        previous,
+                        prev_hierarchy,
+                        step=snap.step,
+                        time=snap.time,
+                    )
+                )
             previous = result
             prev_hierarchy = snap.hierarchy
         return SimulationResult(
@@ -350,17 +389,23 @@ class TraceSimulator:
         for i, snap in enumerate(trace):
             partitioner = schedule(i, snap, previous)
             last_desc = partitioner.describe()
-            result = partitioner.partition(snap.hierarchy, nprocs, previous)
-            metrics.append(
-                self.measure_step(
-                    snap.hierarchy,
-                    result,
-                    previous,
-                    prev_hierarchy,
-                    step=snap.step,
-                    time=snap.time,
+            with span("sim.partition", cat="sim", step=snap.step,
+                      partitioner=last_desc.get("name", "?"),
+                      scheduled=True):
+                result = partitioner.partition(
+                    snap.hierarchy, nprocs, previous
                 )
-            )
+            with span("sim.measure_step", cat="sim", step=snap.step):
+                metrics.append(
+                    self.measure_step(
+                        snap.hierarchy,
+                        result,
+                        previous,
+                        prev_hierarchy,
+                        step=snap.step,
+                        time=snap.time,
+                    )
+                )
             previous = result
             prev_hierarchy = snap.hierarchy
         return SimulationResult(

@@ -1,0 +1,80 @@
+"""Unified telemetry: spans, counters, gauges, and profiling surfaces.
+
+Zero-dependency observability for the whole stack — see
+:mod:`repro.telemetry.core` for the recorder and event-log schema,
+:mod:`repro.telemetry.sinks` for the JSONL / Chrome trace-event
+writers, and :mod:`repro.telemetry.profile` for run profiles and the
+``repro profile`` / ``repro report --timings`` / ``repro top``
+renderers.
+
+The hard invariant, enforced by tests and CI: telemetry on or off,
+every ``RunSpec`` key, result series, and store artifact byte is
+identical.  Telemetry output lives only under ``<store>/telemetry/``,
+which the content-addressed store never scans.
+"""
+
+from .core import (
+    TELEMETRY_ENV,
+    TELEMETRY_MODES,
+    Span,
+    TelemetryRecorder,
+    activate,
+    active_recorder,
+    annotate,
+    counter,
+    deactivate,
+    flush_active,
+    gauge,
+    recording,
+    session,
+    span,
+    telemetry_active,
+    telemetry_enabled,
+    telemetry_mode,
+)
+from .profile import (
+    aggregate_timings,
+    find_run_profiles,
+    load_run_profile,
+    profile_tree,
+    render_cluster_status,
+    render_profile,
+    render_timings,
+    run_profile_path,
+    run_scope,
+    telemetry_root,
+)
+from .sinks import chrome_trace, read_jsonl, write_chrome_trace
+
+__all__ = [
+    "TELEMETRY_ENV",
+    "TELEMETRY_MODES",
+    "Span",
+    "TelemetryRecorder",
+    "activate",
+    "active_recorder",
+    "aggregate_timings",
+    "annotate",
+    "chrome_trace",
+    "counter",
+    "deactivate",
+    "find_run_profiles",
+    "flush_active",
+    "gauge",
+    "load_run_profile",
+    "profile_tree",
+    "read_jsonl",
+    "recording",
+    "render_cluster_status",
+    "render_profile",
+    "render_timings",
+    "run_profile_path",
+    "run_scope",
+    "session",
+    "span",
+    "telemetry_active",
+    "telemetry_enabled",
+    "telemetry_mode",
+    "telemetry_root",
+    "write_chrome_trace",
+]

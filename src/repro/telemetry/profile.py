@@ -1,0 +1,411 @@
+"""Profiling surfaces over the telemetry event logs.
+
+Three consumers of the raw spans live here:
+
+* :func:`run_scope` — the single integration point the executor wraps
+  around every spec execution.  It opens the ``run`` root span, scopes
+  the pair-kernel counters to the run (so pruning ratios are per-run
+  accurate under any backend), and on success writes a **run profile**
+  (``<store>/telemetry/runs/<k..>/<key>.json``: wall time, counter
+  snapshot, the span subtree) that ``repro profile <key>`` renders.
+  Because it self-activates an ephemeral recorder when telemetry is on
+  but no session is live, profiles appear identically whether the run
+  happened in-process, in a pool worker, or in a ``repro worker``
+  daemon on another host.
+* :func:`aggregate_timings` / :func:`render_timings` — ``repro report
+  --timings``: fold every run profile of a store into one table of span
+  totals across the sweep.
+* :func:`render_cluster_status` — ``repro top``: the live worker /
+  lease / queue table read straight off the queue directory.
+
+Everything here writes only under ``<store>/telemetry/`` — never into
+``objects/`` — so run profiles cannot perturb a content hash.
+"""
+
+from __future__ import annotations
+
+import os
+import socket
+from contextlib import contextmanager
+from pathlib import Path
+
+from .core import (
+    TelemetryRecorder,
+    activate,
+    active_recorder,
+    deactivate,
+    telemetry_mode,
+)
+from .sinks import read_jsonl, write_json_atomic  # noqa: F401  (re-export)
+
+__all__ = [
+    "aggregate_timings",
+    "find_run_profiles",
+    "load_run_profile",
+    "profile_tree",
+    "render_cluster_status",
+    "render_profile",
+    "render_timings",
+    "run_profile_path",
+    "run_scope",
+    "telemetry_root",
+]
+
+#: Version stamp of the run-profile document schema.
+RUN_PROFILE_SCHEMA = 1
+
+
+def telemetry_root(store_root: str | os.PathLike) -> Path:
+    """Where a store's telemetry artifacts live (sibling of objects/)."""
+    return Path(store_root) / "telemetry"
+
+
+def run_profile_path(store_root: str | os.PathLike, key: str) -> Path:
+    """The run-profile document of ``key`` (store-style key sharding)."""
+    return telemetry_root(store_root) / "runs" / key[:2] / f"{key}.json"
+
+
+@contextmanager
+def run_scope(spec, store):
+    """Instrument one spec execution (see module docstring).
+
+    A no-op when telemetry is off and no recorder is active — the check
+    is one global read plus one env read, satisfying the <3% overhead
+    budget of the acceptance criteria.
+    """
+    rec = active_recorder()
+    ephemeral: TelemetryRecorder | None = None
+    if rec is None:
+        if telemetry_mode() == "off":
+            yield
+            return
+        # Telemetry requested but no session: a bare execute() — e.g. a
+        # process-pool shard worker.  Record just this run and flush it
+        # into the shared per-process event log.
+        ephemeral = TelemetryRecorder(
+            meta={"session": "exec", "pid": os.getpid(),
+                  "host": socket.gethostname()}
+        )
+        ephemeral.bind_jsonl(
+            telemetry_root(store.root)
+            / f"exec-{socket.gethostname()}-{os.getpid()}.jsonl"
+        )
+        rec = activate(ephemeral)
+    from ..geometry.pairindex import pair_counters_scope
+
+    key = spec.key()
+    failed = False
+    try:
+        with pair_counters_scope() as frame:
+            root = rec.span("run", cat="engine", kind=spec.kind,
+                            label=spec.label(), key=key[:12])
+            with root:
+                try:
+                    yield
+                except BaseException:
+                    failed = True
+                    raise
+    finally:
+        if not failed:
+            events = rec.subtree(root.id)
+            root_event = next(
+                (e for e in events if e.get("id") == root.id), None
+            )
+            doc = {
+                "schema": RUN_PROFILE_SCHEMA,
+                "key": key,
+                "kind": spec.kind,
+                "label": spec.label(),
+                "app": spec.app,
+                "scale": spec.scale,
+                "wall_s": root_event["dur"] if root_event else 0.0,
+                "pair_counters": frame.as_dict(),
+                "spans": events,
+            }
+            write_json_atomic(run_profile_path(store.root, key), doc)
+        if ephemeral is not None:
+            if active_recorder() is ephemeral:
+                deactivate()
+            ephemeral.flush()
+            if telemetry_mode() == "chrome":
+                # Sessionless executions (bare `repro run`, pool shards)
+                # still get a loadable trace, one file per run.
+                from .sinks import write_chrome_trace
+
+                write_chrome_trace(
+                    telemetry_root(store.root)
+                    / f"exec-{socket.gethostname()}-{os.getpid()}"
+                      f"-{key[:12]}.trace.json",
+                    ephemeral,
+                )
+
+
+# ---------------------------------------------------------------------------
+# run-profile loading
+# ---------------------------------------------------------------------------
+
+def find_run_profiles(store_root: str | os.PathLike) -> list[Path]:
+    """Every run-profile document under a store, in stable order."""
+    runs = telemetry_root(store_root) / "runs"
+    if not runs.is_dir():
+        return []
+    return sorted(runs.glob("*/*.json"))
+
+
+def load_run_profile(store_root: str | os.PathLike, key_prefix: str) -> dict:
+    """Load the unique run profile whose key starts with ``key_prefix``.
+
+    Raises ``FileNotFoundError`` when nothing matches and ``ValueError``
+    when the prefix is ambiguous — same contract as store key lookups.
+    """
+    import json
+
+    matches = [
+        path for path in find_run_profiles(store_root)
+        if path.stem.startswith(key_prefix)
+    ]
+    if not matches:
+        raise FileNotFoundError(
+            f"no run profile matching {key_prefix!r} under "
+            f"{telemetry_root(store_root)} — was the run executed with "
+            f"telemetry enabled (REPRO_TELEMETRY=json|chrome)?"
+        )
+    if len(matches) > 1:
+        raise ValueError(
+            f"key prefix {key_prefix!r} is ambiguous: "
+            f"{[p.stem[:12] for p in matches]}"
+        )
+    return json.loads(matches[0].read_text(encoding="utf-8"))
+
+
+# ---------------------------------------------------------------------------
+# timing-tree aggregation and rendering
+# ---------------------------------------------------------------------------
+
+def profile_tree(events: list[dict]) -> list[dict]:
+    """Aggregate span events into a nested name tree.
+
+    Same-named siblings merge (count/total accumulate); each node gets
+    ``self`` = total minus its children's totals.  Roots are spans whose
+    parent is not in the event list (the stored subtree's top).
+    """
+    spans = [e for e in events if e.get("type") == "span"]
+    ids = {e["id"] for e in spans}
+    children: dict[int, list[dict]] = {}
+    roots: list[dict] = []
+    for e in spans:
+        if e["parent"] in ids:
+            children.setdefault(e["parent"], []).append(e)
+        else:
+            roots.append(e)
+
+    def aggregate(level: list[dict]) -> list[dict]:
+        groups: dict[str, dict] = {}
+        for e in level:
+            g = groups.setdefault(
+                e["name"], {"name": e["name"], "count": 0, "total": 0.0,
+                            "ids": []}
+            )
+            g["count"] += 1
+            g["total"] += e["dur"]
+            g["ids"].append(e["id"])
+        nodes = []
+        for g in groups.values():
+            kids = aggregate(
+                [c for i in g["ids"] for c in children.get(i, [])]
+            )
+            child_total = sum(k["total"] for k in kids)
+            nodes.append({
+                "name": g["name"],
+                "count": g["count"],
+                "total": g["total"],
+                "self": max(0.0, g["total"] - child_total),
+                "children": kids,
+            })
+        nodes.sort(key=lambda n: -n["total"])
+        return nodes
+
+    return aggregate(roots)
+
+
+def _format_tree(nodes: list[dict], indent: int, lines: list[str]) -> None:
+    for node in nodes:
+        lines.append(
+            f"  {'  ' * indent}{node['name']:<{max(4, 38 - 2 * indent)}}"
+            f"{node['count']:>6}  {node['total']:>9.3f}s {node['self']:>9.3f}s"
+        )
+        _format_tree(node["children"], indent + 1, lines)
+
+
+def _counters_summary(counters: dict) -> list[str]:
+    """Human lines for a pair-kernel counter snapshot."""
+    product = counters.get("pair_product", 0)
+    candidates = counters.get("candidate_pairs", 0)
+    exact = counters.get("exact_pairs", 0)
+    brute = counters.get("bruteforce_pairs", 0)
+    examined = candidates + brute
+    lines = [
+        f"  pair kernels: {counters.get('queries', 0)} queries, "
+        f"{product:,} brute-force pair product"
+    ]
+    if examined:
+        lines.append(
+            f"  candidates examined: {examined:,} "
+            f"(x{product / examined:.1f} pruning), "
+            f"{exact:,} exact pairs survived"
+        )
+    return lines
+
+
+def render_profile(doc: dict) -> str:
+    """Render one run-profile document as the ``repro profile`` tree."""
+    lines = [
+        f"run {doc.get('kind', '?')} {doc.get('label', '?')} "
+        f"({doc.get('key', '')[:12]})  wall {doc.get('wall_s', 0.0):.3f}s",
+        f"  {'span':<38}{'count':>6}  {'total':>10} {'self':>10}",
+    ]
+    _format_tree(profile_tree(doc.get("spans", [])), 0, lines)
+    lines.extend(_counters_summary(doc.get("pair_counters", {})))
+    return "\n".join(lines)
+
+
+def aggregate_timings(store_root: str | os.PathLike) -> dict:
+    """Fold every run profile of a store into one span-total table."""
+    import json
+
+    spans: dict[str, dict] = {}
+    runs = []
+    counters: dict[str, int] = {}
+    for path in find_run_profiles(store_root):
+        try:
+            doc = json.loads(path.read_text(encoding="utf-8"))
+        except (OSError, json.JSONDecodeError):
+            continue
+        runs.append({
+            "key": doc.get("key", path.stem),
+            "label": doc.get("label", ""),
+            "kind": doc.get("kind", ""),
+            "wall_s": doc.get("wall_s", 0.0),
+        })
+        for event in doc.get("spans", []):
+            if event.get("type") != "span":
+                continue
+            g = spans.setdefault(
+                event["name"], {"name": event["name"], "count": 0,
+                                "total": 0.0}
+            )
+            g["count"] += 1
+            g["total"] += event["dur"]
+        for name, value in (doc.get("pair_counters") or {}).items():
+            counters[name] = counters.get(name, 0) + int(value)
+    return {
+        "runs": sorted(runs, key=lambda r: -r["wall_s"]),
+        "spans": sorted(spans.values(), key=lambda g: -g["total"]),
+        "pair_counters": counters,
+    }
+
+
+def render_timings(doc: dict) -> str:
+    """Render :func:`aggregate_timings` output as the ``--timings`` table."""
+    runs = doc["runs"]
+    total_wall = sum(r["wall_s"] for r in runs)
+    lines = [
+        f"{len(runs)} profiled runs, {total_wall:.3f}s total wall",
+        f"  {'span':<38}{'count':>8}  {'total':>10}  {'mean':>10}",
+    ]
+    for g in doc["spans"]:
+        mean = g["total"] / g["count"] if g["count"] else 0.0
+        lines.append(
+            f"  {g['name']:<38}{g['count']:>8}  {g['total']:>9.3f}s "
+            f"{mean * 1e3:>8.2f}ms"
+        )
+    lines.append("  slowest runs:")
+    for r in runs[:8]:
+        lines.append(
+            f"    {r['wall_s']:>8.3f}s  {r['kind']:<10} {r['label']} "
+            f"({r['key'][:12]})"
+        )
+    lines.extend(_counters_summary(doc.get("pair_counters", {})))
+    return "\n".join(lines)
+
+
+# ---------------------------------------------------------------------------
+# `repro top`: live cluster status
+# ---------------------------------------------------------------------------
+
+def render_cluster_status(store, queue, lease_timeout: float = 30.0,
+                          now: float | None = None) -> str:
+    """One snapshot of the worker/lease/queue state as a status table.
+
+    ``store``/``queue`` are duck-typed (`.root`, and the JobQueue read
+    API) so this module never imports the engine — the CLI hands in
+    live objects.
+    """
+    import time as _time
+
+    now = _time.time() if now is None else now
+    workers = queue.workers()
+    alive = {
+        w["worker_id"]
+        for w in queue.alive_workers(max(lease_timeout, 10.0), now=now)
+    }
+    tickets = queue.tickets()
+    leases = queue.leases()
+    failures = queue.failures()
+    leased_keys = {lease.get("key") for lease in leases}
+    waiting = [t for t in tickets if t.get("key") not in leased_keys]
+
+    lines = [
+        f"store {store.root}",
+        f"queue {queue.root}: {len(tickets)} open tickets "
+        f"({len(leases)} leased, {len(waiting)} waiting), "
+        f"{len(failures)} failure records",
+        f"workers ({len(alive)} alive / {len(workers)} registered):",
+    ]
+    if workers:
+        lines.append(
+            f"  {'worker':<34}{'host':<12}{'pid':>7}{'jobs':>6}"
+            f"{'beat age':>10}  state"
+        )
+        for w in sorted(workers, key=lambda w: w["worker_id"]):
+            beat_age = now - (w.get("heartbeat_at") or 0.0)
+            state = "alive" if w["worker_id"] in alive else "stale"
+            lines.append(
+                f"  {w['worker_id']:<34}{w.get('host', '?'):<12}"
+                f"{w.get('pid', 0):>7}{w.get('jobs_done', 0):>6}"
+                f"{beat_age:>9.1f}s  {state}"
+            )
+    else:
+        lines.append("  (none registered)")
+    if leases:
+        lines.append("leases:")
+        lines.append(
+            f"  {'key':<14}{'owner':<34}{'attempt':>8}{'age':>9}"
+            f"{'beat age':>10}"
+        )
+        for lease in leases:
+            age = now - (lease.get("claimed_at") or now)
+            beat_age = now - (lease.get("heartbeat_at") or now)
+            lines.append(
+                f"  {str(lease.get('key', ''))[:12]:<14}"
+                f"{str(lease.get('owner')):<34}"
+                f"{lease.get('attempt', 0):>8}{age:>8.1f}s{beat_age:>9.1f}s"
+            )
+    if waiting:
+        lines.append("waiting tickets:")
+        for t in waiting[:20]:
+            lines.append(
+                f"  {str(t.get('key', ''))[:12]:<14}"
+                f"{t.get('label', ''):<40}"
+                f"attempt {t.get('attempt', 0)}/{t.get('max_attempts', 0)}"
+            )
+        if len(waiting) > 20:
+            lines.append(f"  ... and {len(waiting) - 20} more")
+    if failures:
+        lines.append(f"failures ({len(failures)} records):")
+        for f in failures[-5:]:
+            lines.append(
+                f"  {str(f.get('key', ''))[:12]} attempt "
+                f"{f.get('attempt', 0)} by {f.get('owner')}"
+            )
+    return "\n".join(lines)

@@ -29,11 +29,16 @@ def isolated_result_store(tmp_path_factory):
     root = tmp_path_factory.mktemp("repro-store")
     previous = os.environ.get("REPRO_CACHE_DIR")
     os.environ["REPRO_CACHE_DIR"] = str(root)
+    # Telemetry stays off unless a test opts in: a developer's exported
+    # REPRO_TELEMETRY must not leak event logs into every test store.
+    previous_telemetry = os.environ.pop("REPRO_TELEMETRY", None)
     yield root
     if previous is None:
         os.environ.pop("REPRO_CACHE_DIR", None)
     else:
         os.environ["REPRO_CACHE_DIR"] = previous
+    if previous_telemetry is not None:
+        os.environ["REPRO_TELEMETRY"] = previous_telemetry
 
 
 @pytest.fixture(scope="session")
