@@ -1,0 +1,110 @@
+"""Warehouse benchmarks: ingest throughput and scan vs. store-load.
+
+Measures what the columnar subsystem exists for:
+
+* *ingest throughput* — flattening a sweep's stored runs into hive
+  partitions (runs/s, rows/s), plus the idempotent re-build (which must
+  do no shard I/O at all);
+* *filtered scan vs. store loads* — answering "one metric for one
+  partitioner" from the warehouse against loading every ``RunResult``
+  blob and slicing in memory.  Peak memory comes from ``tracemalloc``,
+  since bounded memory (not just wall time) is the point of the
+  out-of-core path.
+
+Results land in ``BENCH_warehouse.json`` via :func:`record_bench`.
+"""
+
+from __future__ import annotations
+
+import time
+import tracemalloc
+
+import numpy as np
+
+from repro.engine import ResultStore, run_specs, sim_spec
+from repro.experiments import APP_NAMES
+from repro.warehouse import Warehouse, group_stats
+
+from conftest import BENCH_NPROCS, record_bench
+
+PARTITIONERS = ("nature+fable", "domain-sfc-hilbert", "patch-lpt")
+
+
+def _traced(fn):
+    """(wall seconds, peak MB, result) of one call."""
+    tracemalloc.start()
+    t0 = time.perf_counter()
+    result = fn()
+    wall = time.perf_counter() - t0
+    _, peak = tracemalloc.get_traced_memory()
+    tracemalloc.stop()
+    return wall, peak / 1e6, result
+
+
+def test_ingest_and_filtered_scan(tmp_path, scale):
+    store = ResultStore(tmp_path / "store")
+    specs = [
+        sim_spec(app, scale, nprocs=BENCH_NPROCS, partitioner=part)
+        for app in APP_NAMES
+        for part in PARTITIONERS
+    ]
+    results = run_specs(specs, store=store)
+    total_rows = sum(r.arrays["step"].size for r in results)
+
+    wh = Warehouse(tmp_path / "wh")
+    t_build, mb_build, report = _traced(lambda: wh.build(store))
+    assert report.runs == len(specs)
+    t_rebuild, _, rebuild = _traced(lambda: wh.build(store))
+    assert rebuild.runs == 0 and rebuild.shards == 0
+
+    filters = {"partitioner": PARTITIONERS[0]}
+    t_scan, mb_scan, from_wh = _traced(lambda: group_stats(
+        wh, "steps", by=["app"], values=["load_imbalance"], filters=filters
+    ))
+
+    def store_path():
+        out = {}
+        for res in (store.get_result(s) for s in specs):
+            if res.spec.partitioner != PARTITIONERS[0]:
+                continue
+            out.setdefault(res.spec.app, []).append(
+                res.arrays["load_imbalance"]
+            )
+        return {
+            app: np.concatenate(chunks).mean()
+            for app, chunks in out.items()
+        }
+
+    t_store, mb_store, from_store = _traced(store_path)
+    for (app,), per_value in from_wh.items():
+        assert per_value["load_imbalance"]["mean"] == from_store[app]
+
+    print()
+    print(
+        f"warehouse over {len(specs)} runs / {total_rows} steps rows "
+        f"(scale={scale}, P={BENCH_NPROCS})"
+    )
+    print(f"  build (cold)        {t_build:8.3f} s  peak {mb_build:7.1f} MB"
+          f"   {report.runs / max(t_build, 1e-9):8.1f} runs/s")
+    print(f"  build (idempotent)  {t_rebuild:8.3f} s")
+    print(f"  group_stats scan    {t_scan:8.3f} s  peak {mb_scan:7.1f} MB")
+    print(f"  store-blob path     {t_store:8.3f} s  peak {mb_store:7.1f} MB")
+
+    record_bench(
+        "warehouse", f"build:{scale}", t_build, peak_mb=mb_build,
+        counters={"runs": report.runs, "rows": report.rows,
+                  "shards": report.shards},
+        runs_per_s=report.runs / max(t_build, 1e-9),
+    )
+    record_bench(
+        "warehouse", f"rebuild:{scale}", t_rebuild,
+        counters={"runs": rebuild.runs},
+    )
+    record_bench(
+        "warehouse", f"scan-group:{scale}", t_scan, peak_mb=mb_scan,
+        counters={"groups": len(from_wh)},
+    )
+    record_bench(
+        "warehouse", f"store-blob:{scale}", t_store, peak_mb=mb_store,
+        counters={"runs": len(specs)},
+    )

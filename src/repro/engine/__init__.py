@@ -82,7 +82,11 @@ from .store import DEFAULT_CACHE_DIR, ResultStore, default_store
 #: Version of this public surface (semver; major bumps are breaking).
 #: 1.1: execution backends (serial/process/cluster), ``run_specs``
 #: ``backend``/``workers``/``verbose`` parameters, ``repro worker``.
-ENGINE_API_VERSION = "1.2"
+#: 1.3: ``ResultStore.iter_results`` streaming listing; the
+#: :mod:`repro.warehouse` columnar subsystem (``repro warehouse``,
+#: ``repro report --from-warehouse``, registry kind
+#: ``warehouse-format``).
+ENGINE_API_VERSION = "1.3"
 
 __all__ = [
     # versions

@@ -270,6 +270,60 @@ class ResultStore:
         shutil.rmtree(entry, ignore_errors=True)
         return True
 
+    def iter_results(self, kind: str | None = None) -> Iterator[tuple[str, dict]]:
+        """Stream ``(key, meta document)`` for every published entry.
+
+        The streaming complement of :meth:`get_result`: nothing but the
+        small ``meta.json`` is read — no series array is ever loaded —
+        so iterating a million-run store costs a directory walk plus
+        one small JSON parse per entry.  This is what warehouse ingest
+        and ``repro cache ls`` scan.
+
+        Corrupt entries (unparsable ``meta.json``, meta lacking its
+        spec, a spec that no longer parses) are warn-skipped and
+        retired exactly like :meth:`get_result` does, so one
+        hard-killed writer cannot wedge every listing.  The yielded
+        document is the stored ``meta.json`` plus ``nbytes`` and
+        ``mtime`` bookkeeping fields.
+        """
+        if not self._objects.is_dir():
+            return
+        for shard in sorted(self._objects.iterdir()):
+            if not shard.is_dir():
+                continue
+            for entry in sorted(shard.iterdir()):
+                key = entry.name
+                try:
+                    self.entry_dir(key)
+                except ValueError:
+                    warnings.warn(
+                        f"skipping malformed store entry name {key!r}",
+                        RuntimeWarning,
+                        stacklevel=2,
+                    )
+                    continue
+                doc = self.load_meta(key)
+                if doc is None:
+                    if (entry / _META).is_file():
+                        self._corrupt_miss(key, "unparsable meta.json")
+                    continue
+                spec_doc, meta = doc.get("spec"), doc.get("meta")
+                if not isinstance(spec_doc, dict) or not isinstance(meta, dict):
+                    self._corrupt_miss(key, "meta.json lacks spec/meta")
+                    continue
+                try:
+                    RunSpec.from_json(spec_doc)
+                except Exception as exc:
+                    self._corrupt_miss(key, f"spec does not parse: {exc}")
+                    continue
+                if kind is not None and doc.get("kind") != kind:
+                    continue
+                doc["nbytes"] = sum(
+                    f.stat().st_size for f in entry.iterdir() if f.is_file()
+                )
+                doc["mtime"] = (entry / _META).stat().st_mtime
+                yield key, doc
+
     # -- maintenance -------------------------------------------------------
     def entries(self) -> Iterator[dict]:
         """All published ``meta.json`` documents (stable key order)."""

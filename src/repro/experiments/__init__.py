@@ -23,7 +23,13 @@ from .figures import (
     figure_app,
     shape_report,
 )
-from .report import ascii_chart, render_figure1, render_figure_app, render_regret
+from .report import (
+    ascii_chart,
+    render_figure1,
+    render_figure_app,
+    render_group_stats,
+    render_regret,
+)
 from .workloads import (
     ALL_APP_NAMES,
     APP_NAMES,
@@ -57,6 +63,7 @@ __all__ = [
     "ascii_chart",
     "render_figure1",
     "render_figure_app",
+    "render_group_stats",
     "render_regret",
     "ALL_APP_NAMES",
     "APP_NAMES",

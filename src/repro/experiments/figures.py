@@ -61,28 +61,60 @@ def _static_partitioner() -> Partitioner:
     return NaturePlusFable()
 
 
+def _as_warehouse(warehouse):
+    """Accept a :class:`~repro.warehouse.Warehouse` or a dataset path."""
+    from ..warehouse import Warehouse
+
+    if isinstance(warehouse, Warehouse):
+        return warehouse
+    return Warehouse(warehouse)
+
+
+def _fetch(spec, store, warehouse):
+    """One run's ``(trace name, series arrays)`` from either source.
+
+    With ``warehouse`` set the run is read back from the columnar
+    dataset (raising ``KeyError`` when it was never ingested — the
+    warehouse is a read-only view, it never computes); otherwise the
+    engine resolves the spec against the store, computing on a miss.
+    The warehouse readback is bit-identical to the stored arrays, so
+    every figure statistic is byte-for-byte the same either way.
+    """
+    if warehouse is not None:
+        wh = _as_warehouse(warehouse)
+        key = spec.key()
+        return str(wh.run_row(key)["trace"]), wh.run_series(key)
+    result = run_spec(spec, store=store)
+    return result.meta["trace"], result.arrays
+
+
 def figure1(
     trace: Trace | None = None,
     nprocs: int = DEFAULT_NPROCS,
     scale: str = "paper",
     store=None,
+    warehouse=None,
 ) -> dict:
     """Figure 1: dynamic behaviour of BL2D under a static P.
 
     Returns the per-step series the figure plots: load imbalance (in
     percent) and communication amount, against the time step.
+    ``warehouse`` switches the data source from the store-scan path to
+    a built :class:`~repro.warehouse.Warehouse` (bit-identical).
     """
     if trace is not None:
         return _figure1_inline(trace, nprocs)
-    sim = run_spec(sim_spec("bl2d", scale, nprocs=nprocs), store=store)
+    name, arrays = _fetch(
+        sim_spec("bl2d", scale, nprocs=nprocs), store, warehouse
+    )
     return {
-        "trace": sim.meta["trace"],
+        "trace": name,
         "nprocs": nprocs,
-        "step": sim.arrays["step"],
+        "step": arrays["step"],
         # 100 * (max/avg - 1), identical to load_imbalance_percent on the
         # per-step loads (the simulator stores the max/avg ratio).
-        "load_imbalance_percent": 100.0 * (sim.arrays["load_imbalance"] - 1.0),
-        "relative_comm": sim.arrays["relative_comm"],
+        "load_imbalance_percent": 100.0 * (arrays["load_imbalance"] - 1.0),
+        "relative_comm": arrays["relative_comm"],
     }
 
 
@@ -151,6 +183,7 @@ def figure_app(
     nprocs: int = DEFAULT_NPROCS,
     scale: str = "paper",
     store=None,
+    warehouse=None,
 ) -> dict:
     """Figures 4-7: model penalties vs. measured behaviour for one app.
 
@@ -174,21 +207,26 @@ def figure_app(
             result.series("relative_comm"),
             result.series("relative_migration"),
         )
-    sim = run_spec(sim_spec(name, scale, nprocs=nprocs), store=store)
-    model = run_spec(penalties_spec(name, scale, nprocs=nprocs), store=store)
+    trace_name, sim_arrays = _fetch(
+        sim_spec(name, scale, nprocs=nprocs), store, warehouse
+    )
+    _, model_arrays = _fetch(
+        penalties_spec(name, scale, nprocs=nprocs), store, warehouse
+    )
     return _figure_app_dict(
-        sim.meta["trace"],
+        trace_name,
         nprocs,
-        model.arrays["step"],
-        model.arrays["beta_c"],
-        model.arrays["beta_m"],
-        sim.arrays["relative_comm"],
-        sim.arrays["relative_migration"],
+        model_arrays["step"],
+        model_arrays["beta_c"],
+        model_arrays["beta_m"],
+        sim_arrays["relative_comm"],
+        sim_arrays["relative_migration"],
     )
 
 
 def shape_report(
-    nprocs: int = DEFAULT_NPROCS, scale: str = "paper", store=None
+    nprocs: int = DEFAULT_NPROCS, scale: str = "paper", store=None,
+    warehouse=None,
 ) -> dict[str, dict]:
     """Quantified section 5.2 claims for the whole suite.
 
@@ -199,7 +237,10 @@ def shape_report(
     """
     out: dict[str, dict] = {}
     for name in APP_NAMES:
-        fig = figure_app(name, nprocs=nprocs, scale=scale, store=store)
+        fig = figure_app(
+            name, nprocs=nprocs, scale=scale, store=store,
+            warehouse=warehouse,
+        )
         out[name] = {
             "comm_correlation": fig["comm_correlation"],
             "migration_correlation": fig["migration_correlation"],
@@ -222,6 +263,7 @@ def dimension2_series(
     nprocs: int = DEFAULT_NPROCS,
     scale: str = "paper",
     store=None,
+    warehouse=None,
 ) -> dict:
     """The dimension-II trajectory: requested vs offered time (section 4.3)."""
     if trace is not None:

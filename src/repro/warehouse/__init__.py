@@ -1,0 +1,85 @@
+"""The sweep warehouse: columnar analytics over the result store.
+
+The content-addressed store (:mod:`repro.engine.store`) is the system
+of record — one npz/json blob per run, keyed by content hash.  That is
+the right shape for replay and resumability, and the wrong shape for
+the paper's actual product: *characterization*, i.e. comparing
+partitioner trade-off metrics across applications, scales, machine
+models and schedules, at sweep sizes where "load every blob" stops
+being a plan.  This package flattens stored runs into hive-partitioned
+columnar datasets and answers analytical queries out-of-core:
+
+* :mod:`repro.warehouse.schema` — the flatten layer
+  (:func:`flatten_run`): one run -> a ``runs`` row (spec descriptors +
+  resolved machine params + scalar summaries) and ``steps`` rows
+  (every metric series, dtype-preserving), pinned by
+  :data:`WAREHOUSE_SCHEMA_VERSION`;
+* :mod:`repro.warehouse.formats` — shard formats behind one
+  :class:`WarehouseFormat` interface (registry kind
+  ``warehouse-format``): zero-dependency ``npz`` column shards by
+  default, Apache Parquet when the optional ``pyarrow`` extra is
+  installed;
+* :mod:`repro.warehouse.dataset` — the :class:`Warehouse` dataset:
+  ``app=<a>/scale=<s>/partitioner=<p>`` hive partitioning, an
+  incremental content-hash-keyed ingest manifest (idempotent,
+  crash-safe, resumable ``build`` with a ``--preview`` partition
+  plan), and bit-identical per-run readback (:meth:`Warehouse.run_series`);
+* :mod:`repro.warehouse.query` — streaming :func:`scan` with partition
+  pruning and chunked :func:`group_stats` aggregation.
+
+``repro warehouse build | status | query`` is the CLI surface, and
+``repro report --from-warehouse`` renders the paper's figures from the
+warehouse byte-identically to the store-scan path.
+"""
+
+from .dataset import (
+    BuildPlan,
+    BuildReport,
+    Warehouse,
+    default_warehouse_root,
+    render_build_plan,
+)
+from .formats import (
+    NpzColumnFormat,
+    ParquetFormat,
+    WarehouseFormat,
+    parquet_available,
+    resolve_format,
+)
+from .query import group_stats, scan, scan_table
+from .schema import (
+    PARTITION_COLUMNS,
+    WAREHOUSE_KINDS,
+    WAREHOUSE_SCHEMA_VERSION,
+    FlatRun,
+    flatten_run,
+    partition_path,
+    partition_values,
+)
+
+__all__ = [
+    # schema / flatten
+    "WAREHOUSE_SCHEMA_VERSION",
+    "WAREHOUSE_KINDS",
+    "PARTITION_COLUMNS",
+    "FlatRun",
+    "flatten_run",
+    "partition_values",
+    "partition_path",
+    # formats
+    "WarehouseFormat",
+    "NpzColumnFormat",
+    "ParquetFormat",
+    "parquet_available",
+    "resolve_format",
+    # dataset
+    "Warehouse",
+    "BuildPlan",
+    "BuildReport",
+    "default_warehouse_root",
+    "render_build_plan",
+    # query
+    "scan",
+    "scan_table",
+    "group_stats",
+]

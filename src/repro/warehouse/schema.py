@@ -1,0 +1,215 @@
+"""The warehouse flatten layer: one stored run -> two columnar row groups.
+
+The content-addressed store is the system of record — per-run
+``meta.json`` + ``series.npz`` blobs keyed by content hash — but that
+shape is wrong for analysis: comparing partitioner trade-off metrics
+across apps, scales and machine models (the paper's whole point) means
+touching *columns* across millions of runs, not whole blobs.  This
+module defines the analytical schema and the pure function that maps a
+:class:`~repro.engine.spec.RunResult` onto it:
+
+* the ``runs`` table — one row per stored run: the spec descriptors
+  (key, kind, app, ndim, scale, nprocs, partitioner, schedule flag,
+  seed, ghost width), the *resolved* machine parameters as
+  ``machine_<field>`` columns, the canonical partitioner params as one
+  JSON string column, and every scalar summary statistic the executor
+  recorded (``summary_<name>``, ``total_execution_seconds``, ...);
+* the ``steps`` table — one row per regrid step: ``key`` +
+  ``step_index`` plus every simulator/model metric series **exactly as
+  stored** (dtype-preserving, so a warehouse scan reconstructs the
+  in-memory series bit-identically).
+
+:data:`WAREHOUSE_SCHEMA_VERSION` pins the column semantics; it is
+recorded in every dataset manifest and checked on open, so a schema
+change retires stale warehouses instead of silently mixing layouts.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import asdict, dataclass
+
+import numpy as np
+
+from ..engine.components import is_schedule, resolve_machine
+from ..engine.spec import RunResult, RunSpec
+
+__all__ = [
+    "WAREHOUSE_SCHEMA_VERSION",
+    "WAREHOUSE_KINDS",
+    "PARTITION_COLUMNS",
+    "FlatRun",
+    "flatten_run",
+    "partition_values",
+    "partition_path",
+]
+
+#: Version of the warehouse column semantics; part of every manifest.
+WAREHOUSE_SCHEMA_VERSION = 1
+
+#: Store kinds the warehouse ingests.  Traces carry no metric series
+#: (their artifact is the trace itself), so they stay in the store.
+WAREHOUSE_KINDS = ("sim", "penalties")
+
+#: Hive partition key, in directory order:
+#: ``app=<a>/scale=<s>/partitioner=<p>/part-*.<ext>``.
+PARTITION_COLUMNS = ("app", "scale", "partitioner")
+
+
+def _partitioner_value(spec: RunSpec) -> str:
+    """The ``partitioner`` partition value of one spec.
+
+    ``sim`` runs partition by their partitioner/schedule name; model
+    sampling runs have no partitioner, so their kind is the value —
+    keeping the partition triple total without inventing a fourth
+    directory level.
+    """
+    return spec.partitioner if spec.kind == "sim" else spec.kind
+
+
+def partition_values(spec: RunSpec) -> dict[str, str]:
+    """The hive partition triple ``{app, scale, partitioner}`` of a spec."""
+    return {
+        "app": spec.app,
+        "scale": spec.scale,
+        "partitioner": _partitioner_value(spec),
+    }
+
+
+def partition_path(values: dict[str, str]) -> str:
+    """``{app: tp2d, ...}`` -> ``"app=tp2d/scale=small/partitioner=..."``."""
+    parts = []
+    for column in PARTITION_COLUMNS:
+        value = str(values[column])
+        if "/" in value or "=" in value or not value:
+            raise ValueError(
+                f"partition value {value!r} for {column!r} cannot form a "
+                f"hive directory name"
+            )
+        parts.append(f"{column}={value}")
+    return "/".join(parts)
+
+
+def _flatten_meta(doc: dict, prefix: str = "") -> dict[str, float]:
+    """Numeric scalars of a meta document, flattened by underscore path.
+
+    Nested dicts recurse (``summary.mean_relative_comm`` becomes
+    ``summary_mean_relative_comm``); strings and lists are skipped —
+    the descriptive fields the tables need (trace name, denominator)
+    are explicit columns.
+    """
+    out: dict[str, float] = {}
+    for name in sorted(doc):
+        value = doc[name]
+        column = f"{prefix}{name}"
+        if isinstance(value, dict):
+            out.update(_flatten_meta(value, prefix=f"{column}_"))
+        elif isinstance(value, bool):
+            out[column] = bool(value)
+        elif isinstance(value, (int, float)):
+            out[column] = value
+    return out
+
+
+@dataclass(frozen=True)
+class FlatRun:
+    """One stored run flattened onto the warehouse schema.
+
+    ``runs_row`` maps column name -> python scalar; ``steps`` maps
+    column name -> 1-d array (all the same length, dtypes exactly as
+    stored); ``partition`` is the hive triple both tables file under.
+    """
+
+    key: str
+    partition: dict[str, str]
+    runs_row: dict
+    steps: dict[str, np.ndarray]
+
+    @property
+    def n_steps(self) -> int:
+        return int(self.runs_row["n_steps"])
+
+
+#: runs-table columns owned by the spec/flatten layer; meta-derived
+#: scalar columns never shadow these.
+_FIXED_RUNS_COLUMNS = frozenset(
+    {
+        "key",
+        "kind",
+        "app",
+        "ndim",
+        "scale",
+        "nprocs",
+        "partitioner",
+        "is_schedule",
+        "seed",
+        "ghost_width",
+        "migration_denominator",
+        "params_json",
+        "trace",
+        "n_steps",
+    }
+)
+
+
+def flatten_run(result: RunResult) -> FlatRun:
+    """Flatten one :class:`RunResult` into its two warehouse row groups.
+
+    Raises ``ValueError`` for kinds outside :data:`WAREHOUSE_KINDS` or
+    results whose series lengths disagree (a corrupt entry the store
+    should have retired).
+    """
+    spec = result.spec
+    if spec.kind not in WAREHOUSE_KINDS:
+        raise ValueError(
+            f"cannot flatten kind {spec.kind!r}; warehouse ingests "
+            f"{WAREHOUSE_KINDS}"
+        )
+    if not result.arrays:
+        raise ValueError(f"result {result.key[:12]} holds no series")
+    lengths = {name: arr.shape for name, arr in result.arrays.items()}
+    n_steps = next(iter(lengths.values()))[0]
+    if any(shape != (n_steps,) for shape in lengths.values()):
+        raise ValueError(
+            f"result {result.key[:12]} series disagree on length: {lengths}"
+        )
+
+    partition = partition_values(spec)
+    row: dict = {
+        "key": result.key,
+        "kind": spec.kind,
+        "app": spec.app,
+        "ndim": int(spec.ndim),
+        "scale": spec.scale,
+        "nprocs": int(spec.nprocs),
+        "partitioner": partition["partitioner"],
+        "is_schedule": bool(
+            spec.kind == "sim" and is_schedule(spec.partitioner)
+        ),
+        "seed": -1 if spec.seed is None else int(spec.seed),
+        "ghost_width": int(spec.ghost_width),
+        "migration_denominator": spec.migration_denominator,
+        "params_json": json.dumps(
+            [list(p) for p in spec.params], sort_keys=True,
+            separators=(",", ":"),
+        ),
+        "trace": str(result.meta.get("trace", "")),
+        "n_steps": int(n_steps),
+    }
+    for name, value in asdict(resolve_machine(spec.machine)).items():
+        row[f"machine_{name}"] = float(value)
+    for column, value in _flatten_meta(result.meta).items():
+        if column not in _FIXED_RUNS_COLUMNS:
+            row[column] = value
+
+    steps: dict[str, np.ndarray] = {
+        "key": np.full(n_steps, result.key),
+        "step_index": np.arange(n_steps, dtype=np.int64),
+    }
+    for name in sorted(result.arrays):
+        if name in steps:
+            raise ValueError(f"series name {name!r} shadows a schema column")
+        steps[name] = result.arrays[name]
+    return FlatRun(
+        key=result.key, partition=partition, runs_row=row, steps=steps
+    )
