@@ -28,6 +28,7 @@ from repro.experiments import paper_trace
 from repro.geometry import (
     pair_index_counters,
     pair_index_forced,
+    pair_reuse_forced,
     reset_pair_index_counters,
 )
 from repro.simulator import (
@@ -126,6 +127,58 @@ def _compare(app: str, scale: str, run_brute: bool = True) -> dict:
     return row
 
 
+def _measure_reuse(mode: str, app: str, scale: str):
+    """One cold metric-set evaluation under a pair-reuse mode.
+
+    Distributions are rebuilt per call so each mode starts from maps
+    with no cached persistent index — reuse-on timings include the
+    cold index builds they amortise.
+    """
+    hierarchy, prev, cur = _distributions(app, scale)
+    reset_pair_index_counters()
+    tracemalloc.start()
+    t0 = time.perf_counter()
+    with pair_index_forced("grid"), pair_reuse_forced(mode):
+        result = _metric_set(hierarchy, prev, cur)
+    seconds = time.perf_counter() - t0
+    _, peak = tracemalloc.get_traced_memory()
+    tracemalloc.stop()
+    return result, seconds, peak, pair_index_counters().as_dict()
+
+
+def _compare_reuse(app: str, scale: str) -> dict:
+    """Reuse-on vs reuse-off (the per-query PR-6 path) on one workload."""
+    on_out, on_s, on_peak, on_counters = _measure_reuse("auto", app, scale)
+    off_out, off_s, off_peak, off_counters = _measure_reuse("off", app, scale)
+    assert on_out == off_out, "reuse layer changed a metric"
+    assert on_counters["index_reuses"] > 0, "persistent indexes never probed"
+    assert off_counters["index_reuses"] == 0, "reuse=off still reused"
+    row = {
+        "workload": f"{app}:{scale}",
+        "reuse_on_s": on_s,
+        "reuse_off_s": off_s,
+        "index_builds": on_counters["index_builds"],
+        "index_reuses": on_counters["index_reuses"],
+        "speedup": off_s / max(on_s, 1e-9),
+    }
+    print(
+        f"\n  {row['workload']:<12} reuse on {on_s * 1e3:8.1f} ms "
+        f"({row['index_builds']} builds amortised over "
+        f"{row['index_reuses']} probes) | "
+        f"off {off_s * 1e3:8.1f} ms | speedup x{row['speedup']:.2f}"
+    )
+    record_bench(
+        "pair_kernels", f"reuse-on:{row['workload']}", on_s,
+        peak_mb=on_peak / 1e6, counters=on_counters,
+    )
+    record_bench(
+        "pair_kernels", f"reuse-off:{row['workload']}", off_s,
+        peak_mb=off_peak / 1e6, counters=off_counters,
+        speedup=row["speedup"],
+    )
+    return row
+
+
 def test_pair_kernels_2d(benchmark):
     """2-D paper scale: the index must agree and not slow things down."""
     scale = bench_scale()
@@ -154,6 +207,27 @@ def test_pair_kernels_3d_deep(benchmark):
         assert row["brute_s"] >= 3.0 * row["indexed_s"], (
             f"expected >= 3x speedup at deep scale, got "
             f"x{row['brute_s'] / max(row['indexed_s'], 1e-9):.2f}"
+        )
+
+
+def test_pair_kernels_reuse_deep(benchmark):
+    """3-D deep: the persistent-index metric set must be >= 1.5x faster.
+
+    Reuse-off is the PR-6 per-query baseline (every kernel call builds
+    its own throwaway bucket structure); reuse-on answers all of a
+    step's queries from one persistent index per owner map.  At
+    ``REPRO_BENCH_SCALE=paper`` this runs the true ``deep`` scale; the
+    CI-sized ``small`` fallback only asserts agreement.
+    """
+    scale = "deep" if bench_scale() == "paper" else "small"
+    row = _compare_reuse("tp3d", scale)
+    hierarchy, prev, cur = _distributions("tp3d", scale)
+    with pair_index_forced("grid"), pair_reuse_forced("auto"):
+        benchmark(_metric_set, hierarchy, prev, cur)
+    if scale == "deep":
+        assert row["reuse_off_s"] >= 1.5 * row["reuse_on_s"], (
+            f"expected >= 1.5x end-to-end reuse speedup at deep scale, "
+            f"got x{row['speedup']:.2f}"
         )
 
 

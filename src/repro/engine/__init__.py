@@ -77,7 +77,13 @@ from .spec import (
     sim_spec,
     trace_spec,
 )
-from .store import DEFAULT_CACHE_DIR, ResultStore, default_store
+from .store import (
+    DEFAULT_CACHE_DIR,
+    ResultStore,
+    clear_read_cache,
+    default_store,
+    read_cache_stats,
+)
 
 #: Version of this public surface (semver; major bumps are breaking).
 #: 1.1: execution backends (serial/process/cluster), ``run_specs``
@@ -86,7 +92,11 @@ from .store import DEFAULT_CACHE_DIR, ResultStore, default_store
 #: :mod:`repro.warehouse` columnar subsystem (``repro warehouse``,
 #: ``repro report --from-warehouse``, registry kind
 #: ``warehouse-format``).
-ENGINE_API_VERSION = "1.3"
+#: 1.4: the zero-copy store read plane — memory-mapped series loads
+#: (``REPRO_STORE_MMAP``), the per-process read cache
+#: (``REPRO_STORE_CACHE``, ``read_cache_stats``/``clear_read_cache``)
+#: — and the pair-kernel reuse layer (``REPRO_PAIR_REUSE``).
+ENGINE_API_VERSION = "1.4"
 
 __all__ = [
     # versions
@@ -102,6 +112,8 @@ __all__ = [
     "ResultStore",
     "default_store",
     "DEFAULT_CACHE_DIR",
+    "read_cache_stats",
+    "clear_read_cache",
     # spec graph
     "Plan",
     "SpecNode",

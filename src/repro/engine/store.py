@@ -25,6 +25,7 @@ import time
 import warnings
 import zipfile
 import zlib
+from collections import OrderedDict
 from pathlib import Path
 from typing import Iterator
 
@@ -34,7 +35,13 @@ from ..telemetry import span
 from ..trace import Trace
 from .spec import RunResult, RunSpec
 
-__all__ = ["ResultStore", "default_store", "DEFAULT_CACHE_DIR"]
+__all__ = [
+    "ResultStore",
+    "default_store",
+    "DEFAULT_CACHE_DIR",
+    "clear_read_cache",
+    "read_cache_stats",
+]
 
 #: Exceptions a truncated / partially-deleted artifact can raise while
 #: loading; anything in this set is a *corrupt entry*, not a crash.
@@ -56,6 +63,146 @@ DEFAULT_CACHE_DIR = Path.home() / ".cache" / "repro"
 _META = "meta.json"
 _SERIES = "series.npz"
 _TRACE = "trace.json.gz"
+
+#: Reads refresh an entry's mtime (the ``cache gc`` recency signal) at
+#: most this often per entry per process — warm sweeps were paying a
+#: stat+utime on *every* load of the same hot artifact.
+_TOUCH_INTERVAL = 3600.0
+_TOUCH_TIMES: dict[tuple[str, str], float] = {}
+
+# Per-process read cache, keyed (store root, content hash, artifact
+# kind).  Module-global on purpose: ``default_store()`` builds a fresh
+# ``ResultStore`` instance per call, so an instance-level cache would
+# never be hit.  Workers of the process/cluster backends each get their
+# own copy (the cache is inherited per-process, never shared).  Records
+# carry the stat signature of the backing files; a hit is only served
+# while the signature still matches, so on-disk corruption, overwrite
+# and retirement are observed exactly as a cold read would see them.
+_READ_CACHE: OrderedDict[tuple[str, str, str], dict] = OrderedDict()
+_READ_STATS = {"hits": 0, "misses": 0, "evictions": 0, "mmap_loads": 0}
+
+
+def _read_cache_limit() -> int:
+    """Entry budget of the read cache (``REPRO_STORE_CACHE``, 0 = off)."""
+    raw = os.environ.get("REPRO_STORE_CACHE", "64")
+    try:
+        return max(0, int(raw))
+    except ValueError:
+        raise ValueError(
+            f"REPRO_STORE_CACHE must be an integer, got {raw!r}"
+        ) from None
+
+
+def _mmap_enabled() -> bool:
+    """Whether series arrays may be memory-mapped (``REPRO_STORE_MMAP``)."""
+    mode = os.environ.get("REPRO_STORE_MMAP", "auto")
+    if mode not in ("auto", "off"):
+        raise ValueError(
+            f"REPRO_STORE_MMAP must be 'auto' or 'off', got {mode!r}"
+        )
+    return mode == "auto"
+
+
+def read_cache_stats() -> dict:
+    """Per-process read-cache counters.
+
+    ``hits`` are loads served from memory without touching artifact
+    bytes; ``misses`` are loads that went to disk (and, budget
+    permitting, populated the cache); ``mmap_loads`` counts cold series
+    loads that went through the memory-mapped fast path instead of
+    ``np.load``'s buffered zip reader.
+    """
+    return dict(_READ_STATS)
+
+
+def clear_read_cache() -> None:
+    """Drop every cached read and zero the counters (test isolation)."""
+    _READ_CACHE.clear()
+    _TOUCH_TIMES.clear()
+    for field in _READ_STATS:
+        _READ_STATS[field] = 0
+
+
+def _cache_get(ckey: tuple[str, str, str]) -> dict | None:
+    record = _READ_CACHE.get(ckey)
+    if record is not None:
+        _READ_CACHE.move_to_end(ckey)
+    return record
+
+
+def _cache_put(ckey: tuple[str, str, str], record: dict) -> None:
+    limit = _read_cache_limit()
+    if limit <= 0:
+        return
+    _READ_CACHE[ckey] = record
+    _READ_CACHE.move_to_end(ckey)
+    while len(_READ_CACHE) > limit:
+        _READ_CACHE.popitem(last=False)
+        _READ_STATS["evictions"] += 1
+
+
+def _evict_read_cache(root: str, key: str) -> None:
+    """Forget one entry (called whenever its on-disk files change)."""
+    for kind in ("result", "trace"):
+        _READ_CACHE.pop((root, key, kind), None)
+    _TOUCH_TIMES.pop((root, key), None)
+
+
+def _stat_sig(path: Path) -> tuple[int, int] | None:
+    """``(mtime_ns, size)`` of a file, or ``None`` when it is absent."""
+    try:
+        st = path.stat()
+    except OSError:
+        return None
+    return (st.st_mtime_ns, st.st_size)
+
+
+def _load_series_mmap(path: Path) -> dict[str, np.ndarray] | None:
+    """Zero-copy load of an uncompressed npz: memory-map every member.
+
+    ``np.savez`` stores members uncompressed (``ZIP_STORED``), so each
+    ``.npy`` payload is a contiguous byte range of the archive; this
+    parses the zip local headers plus the npy header and maps the array
+    data in place — no decompression, no copy, pages fault in on use
+    and stay evictable.  Returns ``None`` when any member cannot be
+    mapped (compressed, object dtype, Fortran order, 0-d) so the caller
+    falls back to ``np.load``; corruption raises the same exceptions a
+    cold ``np.load`` would.
+    """
+    arrays: dict[str, np.ndarray] = {}
+    with zipfile.ZipFile(path) as zf, open(path, "rb") as fh:
+        for info in zf.infolist():
+            if (
+                not info.filename.endswith(".npy")
+                or info.compress_type != zipfile.ZIP_STORED
+            ):
+                return None
+            fh.seek(info.header_offset)
+            local = fh.read(30)
+            if len(local) < 30 or local[:4] != b"PK\x03\x04":
+                raise zipfile.BadZipFile(
+                    f"bad local file header for {info.filename!r}"
+                )
+            name_len = int.from_bytes(local[26:28], "little")
+            extra_len = int.from_bytes(local[28:30], "little")
+            fh.seek(info.header_offset + 30 + name_len + extra_len)
+            version = np.lib.format.read_magic(fh)
+            if version == (1, 0):
+                shape, fortran, dtype = np.lib.format.read_array_header_1_0(fh)
+            elif version == (2, 0):
+                shape, fortran, dtype = np.lib.format.read_array_header_2_0(fh)
+            else:
+                return None
+            if fortran or dtype.hasobject or shape == ():
+                return None
+            name = info.filename[:-4]
+            if int(np.prod(shape)) == 0:
+                arrays[name] = np.empty(shape, dtype=dtype)
+            else:
+                arrays[name] = np.memmap(
+                    path, dtype=dtype, mode="r", offset=fh.tell(), shape=shape
+                )
+    return arrays
 
 
 def default_store() -> "ResultStore":
@@ -88,6 +235,9 @@ class ResultStore:
 
     # -- publishing --------------------------------------------------------
     def _publish(self, key: str, stage: Path, overwrite: bool = False) -> None:
+        # The entry's bytes are about to change (or appear): any cached
+        # read of it is stale by definition.
+        _evict_read_cache(str(self.root), key)
         final = self.entry_dir(key)
         final.parent.mkdir(parents=True, exist_ok=True)
         if overwrite and final.exists():
@@ -177,12 +327,38 @@ class ResultStore:
         except (FileNotFoundError, json.JSONDecodeError):
             return None
 
-    def _touch(self, key: str) -> None:
-        """Refresh an entry's mtime (recency signal for LRU eviction)."""
+    def _touch(self, key: str) -> bool:
+        """Refresh an entry's mtime (recency signal for LRU eviction).
+
+        Throttled to once per entry per :data:`_TOUCH_INTERVAL` per
+        process — recency only needs hour resolution, and warm sweeps
+        re-read the same hot artifacts thousands of times.  Returns
+        whether the mtime actually changed (the read cache must refresh
+        its stat signature then).
+        """
+        tkey = (str(self.root), key)
+        now = time.monotonic()
+        last = _TOUCH_TIMES.get(tkey)
+        if last is not None and now - last < _TOUCH_INTERVAL:
+            return False
         try:
             os.utime(self.entry_dir(key) / _META)
         except OSError:  # pragma: no cover - racing remover / readonly store
-            pass
+            return False
+        if len(_TOUCH_TIMES) > 65536:  # pragma: no cover - bound the memo
+            _TOUCH_TIMES.clear()
+        _TOUCH_TIMES[tkey] = now
+        return True
+
+    def _result_sig(self, key: str):
+        """Stat signature of a result entry's backing files."""
+        entry = self.entry_dir(key)
+        return (_stat_sig(entry / _META), _stat_sig(entry / _SERIES))
+
+    def _trace_sig(self, key: str):
+        """Stat signature of a trace entry's backing files."""
+        entry = self.entry_dir(key)
+        return (_stat_sig(entry / _META), _stat_sig(entry / _TRACE))
 
     def _corrupt_miss(self, key: str, problem: str) -> None:
         """Warn about — and retire — a corrupt entry so the next publish
@@ -207,6 +383,22 @@ class ResultStore:
             spec_or_key if isinstance(spec_or_key, str) else spec_or_key.key()
         )
         with span("store.get_result", cat="store", key=key[:12]) as sp:
+            root = str(self.root)
+            ckey = (root, key, "result")
+            record = _cache_get(ckey)
+            if record is not None:
+                if record["sig"] == self._result_sig(key):
+                    _READ_STATS["hits"] += 1
+                    if self._touch(key):
+                        record["sig"] = self._result_sig(key)
+                    sp.annotate(hit=True, cached=True)
+                    return RunResult(
+                        spec=record["spec"],
+                        key=key,
+                        meta=dict(record["meta"]),
+                        arrays=dict(record["arrays"]),
+                    )
+                _READ_CACHE.pop(ckey, None)
             doc = self.load_meta(key)
             if doc is None:
                 return None
@@ -219,21 +411,57 @@ class ResultStore:
             except Exception as exc:
                 self._corrupt_miss(key, f"spec does not parse: {exc}")
                 return None
-            arrays: dict[str, np.ndarray] = {}
+            arrays: dict[str, np.ndarray] | None = None
             series = self.entry_dir(key) / _SERIES
+            # Resolve config outside the load guard: a REPRO_STORE_MMAP
+            # typo must raise, not retire a perfectly good entry.
+            use_mmap = _mmap_enabled()
             if series.is_file():
                 try:
-                    with np.load(series) as npz:
-                        arrays = {name: npz[name] for name in npz.files}
+                    if use_mmap:
+                        arrays = _load_series_mmap(series)
+                    if arrays is not None:
+                        # Materialize the mapped pages into process
+                        # memory: results are stable snapshots — a later
+                        # in-place overwrite of the entry must never
+                        # change arrays already handed to a caller.
+                        _READ_STATS["mmap_loads"] += 1
+                        arrays = {
+                            name: np.array(arr) if isinstance(arr, np.memmap)
+                            else arr
+                            for name, arr in arrays.items()
+                        }
+                    else:
+                        with np.load(series) as npz:
+                            arrays = {name: npz[name] for name in npz.files}
                 except _CORRUPTION_ERRORS as exc:
                     self._corrupt_miss(key, f"series.npz unreadable: {exc}")
                     return None
             elif doc.get("kind") in ("sim", "penalties"):
                 self._corrupt_miss(key, "series.npz missing")
                 return None
+            else:
+                arrays = {}
+            # Cached records share these arrays with every later hit:
+            # freeze them so a caller's in-place edit can't poison reads
+            # other callers see.
+            for arr in arrays.values():
+                arr.setflags(write=False)
             self._touch(key)
+            _READ_STATS["misses"] += 1
+            _cache_put(
+                ckey,
+                {
+                    "sig": self._result_sig(key),
+                    "spec": spec,
+                    "meta": meta,
+                    "arrays": arrays,
+                },
+            )
             sp.annotate(hit=True)
-            return RunResult(spec=spec, key=key, meta=meta, arrays=arrays)
+            return RunResult(
+                spec=spec, key=key, meta=dict(meta), arrays=dict(arrays)
+            )
 
     def get_trace(self, spec_or_key: RunSpec | str) -> Trace | None:
         """Load a stored trace artifact, or ``None`` on a miss.
@@ -246,6 +474,17 @@ class ResultStore:
             spec_or_key if isinstance(spec_or_key, str) else spec_or_key.key()
         )
         with span("store.get_trace", cat="store", key=key[:12]) as sp:
+            root = str(self.root)
+            ckey = (root, key, "trace")
+            record = _cache_get(ckey)
+            if record is not None:
+                if record["sig"] == self._trace_sig(key):
+                    _READ_STATS["hits"] += 1
+                    if self._touch(key):
+                        record["sig"] = self._trace_sig(key)
+                    sp.annotate(hit=True, cached=True)
+                    return record["trace"]
+                _READ_CACHE.pop(ckey, None)
             path = self.entry_dir(key) / _TRACE
             if not path.is_file():
                 if self.has(key):
@@ -259,11 +498,14 @@ class ResultStore:
                 self._corrupt_miss(key, f"trace.json.gz unreadable: {exc}")
                 return None
             self._touch(key)
+            _READ_STATS["misses"] += 1
+            _cache_put(ckey, {"sig": self._trace_sig(key), "trace": trace})
             sp.annotate(hit=True)
             return trace
 
     def remove(self, key: str) -> bool:
         """Delete one entry; returns whether anything was removed."""
+        _evict_read_cache(str(self.root), key)
         entry = self.entry_dir(key)
         if not entry.exists():
             return False
@@ -347,6 +589,7 @@ class ResultStore:
         for doc in list(self.entries()):
             if kind is not None and doc.get("kind") != kind:
                 continue
+            _evict_read_cache(str(self.root), doc["key"])
             shutil.rmtree(self.entry_dir(doc["key"]), ignore_errors=True)
             removed += 1
         shutil.rmtree(self._tmp, ignore_errors=True)

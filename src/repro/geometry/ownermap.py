@@ -38,7 +38,14 @@ from typing import Iterable, Iterator, Sequence
 import numpy as np
 
 from .box import Box
-from .pairindex import _record_brute, _record_exact, candidate_pairs
+from .pairindex import (
+    PairIndex,
+    _record_brute,
+    _record_exact,
+    candidate_pairs,
+    pair_index_mode,
+    pair_reuse_mode,
+)
 from .raster import NO_OWNER, boxes_from_labels, paint_box
 
 __all__ = [
@@ -50,6 +57,7 @@ __all__ = [
     "face_contacts",
     "matched_volume",
     "overlap_volume",
+    "overlap_and_matched_volume",
     "overlay_corners",
     "subtract_corners",
     "prefix_corners",
@@ -94,7 +102,11 @@ def _chunks(n_a: int, n_b: int) -> Iterator[slice]:
 
 
 def pair_intersections(
-    a: np.ndarray, b: np.ndarray
+    a: np.ndarray,
+    b: np.ndarray,
+    *,
+    a_index: PairIndex | None = None,
+    b_index: PairIndex | None = None,
 ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
     """All non-empty pairwise intersections of two corner arrays.
 
@@ -103,11 +115,12 @@ def pair_intersections(
     ranks or other per-box payloads through the intersection).
 
     Pairs are emitted in ``ai``-major, ``bj``-minor order on every
-    candidate path (indexed or brute force), so downstream consumers are
-    bit-identical across ``REPRO_PAIR_INDEX`` modes.
+    candidate path (persistent index, per-query index, or brute force),
+    so downstream consumers are bit-identical across ``REPRO_PAIR_INDEX``
+    and ``REPRO_PAIR_REUSE`` modes.
     """
     ndim = a.shape[1] // 2
-    cand = candidate_pairs(a, b)
+    cand = candidate_pairs(a, b, a_index=a_index, b_index=b_index)
     if cand is not None:
         ai, bj = cand
         lo = np.maximum(a[ai, :ndim], b[bj, :ndim])
@@ -144,10 +157,16 @@ def pair_intersections(
     )
 
 
-def overlap_volume(a: np.ndarray, b: np.ndarray) -> int:
+def overlap_volume(
+    a: np.ndarray,
+    b: np.ndarray,
+    *,
+    a_index: PairIndex | None = None,
+    b_index: PairIndex | None = None,
+) -> int:
     """``sum_ij |a_i ∩ b_j|`` over two corner arrays (rank-agnostic)."""
     ndim = a.shape[1] // 2
-    cand = candidate_pairs(a, b)
+    cand = candidate_pairs(a, b, a_index=a_index, b_index=b_index)
     if cand is not None:
         ai, bj = cand
         lo = np.maximum(a[ai, :ndim], b[bj, :ndim])
@@ -178,20 +197,53 @@ def intersect_corners(corners: np.ndarray, clip: np.ndarray) -> np.ndarray:
     return np.concatenate((lo[keep], hi[keep]), axis=1)
 
 
+def _index_usable(
+    a: np.ndarray,
+    b: np.ndarray,
+    a_index: PairIndex | None,
+    b_index: PairIndex | None,
+) -> bool:
+    """Whether a persistent index actually covers one operand here."""
+    if pair_reuse_mode() != "auto":
+        return False
+    if b_index is not None and b_index.indexes(b):
+        return True
+    return a_index is not None and a_index.indexes(a)
+
+
 def matched_volume(
     a: np.ndarray,
     a_ranks: np.ndarray,
     b: np.ndarray,
     b_ranks: np.ndarray,
+    *,
+    a_index: PairIndex | None = None,
+    b_index: PairIndex | None = None,
 ) -> int:
     """``sum |a_i ∩ b_j|`` over pairs with *equal* ranks.
 
-    Grouped by rank before the pair sweep, so the broadcast never touches
-    cross-rank pairs — the common case (P rank groups of similar size)
-    costs ~1/P of the full pair product.
+    Without a persistent index the operands are grouped by rank before
+    the pair sweep, so the broadcast never touches cross-rank pairs —
+    the common case (P rank groups of similar size) costs ~1/P of the
+    full pair product.  With one, a single index probe replaces the ~P
+    per-group index builds: candidates are filtered by rank equality
+    before the exact arithmetic, and the integer sum is identical either
+    way.
     """
     if a.shape[0] == 0 or b.shape[0] == 0:
         return 0
+    if _index_usable(a, b, a_index, b_index):
+        cand = candidate_pairs(a, b, a_index=a_index, b_index=b_index)
+        if cand is not None:
+            ndim = a.shape[1] // 2
+            ai, bj = cand
+            same = a_ranks[ai] == b_ranks[bj]
+            ai, bj = ai[same], bj[same]
+            lo = np.maximum(a[ai, :ndim], b[bj, :ndim])
+            hi = np.minimum(a[ai, ndim:], b[bj, ndim:])
+            vol = np.prod(np.clip(hi - lo, 0, None), axis=1, dtype=np.int64)
+            _record_exact(int((vol > 0).sum()))
+            return int(vol.sum())
     total = 0
     common = np.intersect1d(np.unique(a_ranks), np.unique(b_ranks))
     for rank in common:
@@ -199,8 +251,46 @@ def matched_volume(
     return total
 
 
+def overlap_and_matched_volume(
+    a: np.ndarray,
+    a_ranks: np.ndarray,
+    b: np.ndarray,
+    b_ranks: np.ndarray,
+    *,
+    a_index: PairIndex | None = None,
+    b_index: PairIndex | None = None,
+) -> tuple[int, int]:
+    """``(overlap_volume, matched_volume)`` from one candidate pass.
+
+    The inter-level transfer metric needs both sums over the same two
+    corner arrays; with a persistent index this answers them from a
+    single probe instead of ``1 + nranks`` separate queries.  Falls back
+    to the two historical kernels (bit-identical sums) when no index
+    covers an operand or brute force is forced.
+    """
+    if a.shape[0] and b.shape[0] and _index_usable(a, b, a_index, b_index):
+        cand = candidate_pairs(a, b, a_index=a_index, b_index=b_index)
+        if cand is not None:
+            ndim = a.shape[1] // 2
+            ai, bj = cand
+            lo = np.maximum(a[ai, :ndim], b[bj, :ndim])
+            hi = np.minimum(a[ai, ndim:], b[bj, ndim:])
+            vol = np.prod(np.clip(hi - lo, 0, None), axis=1, dtype=np.int64)
+            _record_exact(int((vol > 0).sum()))
+            both = int(vol.sum())
+            same = int(vol[a_ranks[ai] == b_ranks[bj]].sum())
+            return both, same
+    return (
+        overlap_volume(a, b, a_index=a_index, b_index=b_index),
+        matched_volume(a, a_ranks, b, b_ranks, a_index=a_index, b_index=b_index),
+    )
+
+
 def face_contacts(
-    corners: np.ndarray, ranks: np.ndarray
+    corners: np.ndarray,
+    ranks: np.ndarray,
+    *,
+    index: PairIndex | None = None,
 ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
     """Abutting-face areas between boxes owned by *different* ranks.
 
@@ -222,7 +312,7 @@ def face_contacts(
     # closed-interval candidate set: abutting pairs cohabit a bucket too.
     # One candidate pass serves all ndim axis filters; per-axis emission
     # order (ai-major, bj-minor) matches the brute-force sweeps below.
-    cand = candidate_pairs(corners, corners, closed=True)
+    cand = candidate_pairs(corners, corners, closed=True, b_index=index)
     if cand is not None:
         ai, bj = cand
         rank_differs = ranks[ai] != ranks[bj]
@@ -286,6 +376,89 @@ def face_contacts(
     )
 
 
+def _subtract_groups(
+    rows: np.ndarray, holes: np.ndarray, offsets: np.ndarray
+) -> tuple[np.ndarray, np.ndarray]:
+    """Batched ``rows[g] \\ holes[offsets[g]:offsets[g+1]]`` for all groups.
+
+    The per-step overlay/subtract kernels historically looped over every
+    touched base box with Python :class:`Box` objects; this runs the same
+    dimension-sweep decomposition for *all* groups at once, one vectorized
+    pass per hole position.  Bit-identical by construction: fragments are
+    emitted in exactly the sequential sweep's order (below/above per axis,
+    parent-major), so callers see the same corner rows in the same order.
+
+    Returns ``(fragment_rows, group_ids)`` with groups in ascending order.
+    """
+    g, width = rows.shape
+    ndim = width // 2
+    counts = np.diff(offsets)
+    frag_lo = rows[:, :ndim].copy()
+    frag_hi = rows[:, ndim:].copy()
+    gid = np.arange(g, dtype=np.int64)
+    done_lo: list[np.ndarray] = []
+    done_hi: list[np.ndarray] = []
+    done_gid: list[np.ndarray] = []
+    k = 0
+    while gid.size:
+        alive = counts[gid] > k
+        if not alive.all():
+            fin = ~alive
+            done_lo.append(frag_lo[fin])
+            done_hi.append(frag_hi[fin])
+            done_gid.append(gid[fin])
+            frag_lo, frag_hi, gid = frag_lo[alive], frag_hi[alive], gid[alive]
+            if gid.size == 0:
+                break
+        h = holes[offsets[gid] + k]
+        h_lo, h_hi = h[:, :ndim], h[:, ndim:]
+        inter_lo = np.maximum(frag_lo, h_lo)
+        inter_hi = np.minimum(frag_hi, h_hi)
+        hit = (inter_lo < inter_hi).all(axis=1)
+        m = frag_lo.shape[0]
+        nslots = 2 * ndim + 1
+        # Slot 0 carries a missed fragment through unchanged; slots
+        # 2d+1 / 2d+2 are the below / above pieces of the axis-d sweep.
+        # C-order flattening (fragment-major, slot-minor) reproduces the
+        # sequential emission order exactly.
+        piece_lo = np.empty((m, nslots, ndim), dtype=np.int64)
+        piece_hi = np.empty((m, nslots, ndim), dtype=np.int64)
+        valid = np.zeros((m, nslots), dtype=bool)
+        piece_lo[:, 0], piece_hi[:, 0] = frag_lo, frag_hi
+        valid[:, 0] = ~hit
+        cur_lo = frag_lo.copy()
+        cur_hi = frag_hi.copy()
+        for d in range(ndim):
+            below = hit & (cur_lo[:, d] < inter_lo[:, d])
+            s = 2 * d + 1
+            piece_lo[:, s], piece_hi[:, s] = cur_lo, cur_hi
+            piece_hi[below, s, d] = inter_lo[below, d]
+            valid[:, s] = below
+            above = hit & (inter_hi[:, d] < cur_hi[:, d])
+            s = 2 * d + 2
+            piece_lo[:, s], piece_hi[:, s] = cur_lo, cur_hi
+            piece_lo[above, s, d] = inter_hi[above, d]
+            valid[:, s] = above
+            cur_lo[hit, d] = inter_lo[hit, d]
+            cur_hi[hit, d] = inter_hi[hit, d]
+        per_frag = valid.sum(axis=1)
+        flat = valid.ravel()
+        frag_lo = piece_lo.reshape(-1, ndim)[flat]
+        frag_hi = piece_hi.reshape(-1, ndim)[flat]
+        gid = np.repeat(gid, per_frag)
+        k += 1
+    if not done_gid:
+        return (
+            np.empty((0, width), dtype=np.int64),
+            np.empty(0, dtype=np.int64),
+        )
+    lo = np.concatenate(done_lo)
+    hi = np.concatenate(done_hi)
+    gids = np.concatenate(done_gid)
+    order = np.argsort(gids, kind="stable")
+    return np.concatenate([lo, hi], axis=1)[order], gids[order]
+
+
 def subtract_corners(base: np.ndarray, holes: np.ndarray) -> np.ndarray:
     """Corner rows of ``union(base) \\ union(holes)`` (``base`` disjoint).
 
@@ -304,6 +477,15 @@ def subtract_corners(base: np.ndarray, holes: np.ndarray) -> np.ndarray:
     order = np.argsort(bi, kind="stable")
     bi, hj = bi[order], hj[order]
     starts = np.flatnonzero(np.diff(bi, prepend=-1))
+    if pair_reuse_mode() == "auto":
+        frags, _ = _subtract_groups(
+            base[bi[starts]], holes[hj], np.append(starts, bi.size)
+        )
+        if frags.shape[0]:
+            out.append(frags)
+        return (
+            np.concatenate(out) if out else np.empty((0, 2 * ndim), np.int64)
+        )
     for s, e in zip(starts, np.append(starts[1:], bi.size)):
         row = base[bi[s]]
         frags = [Box(tuple(row[:ndim]), tuple(row[ndim:]))]
@@ -325,6 +507,8 @@ def overlay_corners(
     top_ranks: np.ndarray,
     bottom: np.ndarray,
     bottom_ranks: np.ndarray,
+    *,
+    top_index: PairIndex | None = None,
 ) -> tuple[np.ndarray, np.ndarray]:
     """Compose two disjoint-box layers; ``top`` wins where both cover.
 
@@ -338,7 +522,7 @@ def overlay_corners(
         return bottom.copy(), bottom_ranks.copy()
     out_c: list[np.ndarray] = [top]
     out_r: list[np.ndarray] = [top_ranks]
-    _, bi, tj = pair_intersections(bottom, top)
+    _, bi, tj = pair_intersections(bottom, top, b_index=top_index)
     covered = np.unique(bi) if bi.size else np.empty(0, dtype=np.int64)
     clear = np.setdiff1d(np.arange(bottom.shape[0]), covered)
     out_c.append(bottom[clear])
@@ -347,6 +531,16 @@ def overlay_corners(
         order = np.argsort(bi, kind="stable")
         bi, tj = bi[order], tj[order]
         starts = np.flatnonzero(np.diff(bi, prepend=-1))
+        if pair_reuse_mode() == "auto":
+            # Batched path: one vectorized sweep fragments every covered
+            # bottom box at once (bit-identical to the per-box loop).
+            frags, fgid = _subtract_groups(
+                bottom[bi[starts]], top[tj], np.append(starts, bi.size)
+            )
+            if frags.shape[0]:
+                out_c.append(frags)
+                out_r.append(bottom_ranks[bi[starts]][fgid])
+            return np.concatenate(out_c), np.concatenate(out_r)
         for s, e in zip(starts, np.append(starts[1:], bi.size)):
             frags = subtract_corners(bottom[bi[s]][None, :], top[tj[s:e]])
             if frags.shape[0]:
@@ -438,7 +632,7 @@ class OwnerMap:
         Owning rank per box (coerced to int32, must be ``>= 0``).
     """
 
-    __slots__ = ("shape", "corners", "ranks")
+    __slots__ = ("shape", "corners", "ranks", "_pair_index")
 
     def __init__(
         self,
@@ -473,6 +667,7 @@ class OwnerMap:
                 raise ValueError("owner ranks must be >= 0")
         self.corners = corners
         self.ranks = ranks
+        self._pair_index: PairIndex | None = None
 
     # -- construction ------------------------------------------------------
     @staticmethod
@@ -546,6 +741,47 @@ class OwnerMap:
         if self.nboxes:
             np.add.at(counts, self.ranks, corner_volumes(self.corners))
         return counts
+
+    def pair_index(self) -> PairIndex | None:
+        """The persistent candidate index over this map's boxes (lazy).
+
+        Built on first request and cached for the life of the map, so
+        every kernel query within a ``measure_step`` shares one index
+        per level instead of rebuilding per query.  Returns ``None``
+        when the reuse layer is off (``REPRO_PAIR_REUSE=off``), brute
+        force is forced, or the map is too small to benefit — callers
+        just thread the result through; ``None`` falls back to the
+        per-query candidate path.
+        """
+        if (
+            self.nboxes < 2
+            or pair_reuse_mode() != "auto"
+            or pair_index_mode() == "bruteforce"
+        ):
+            return None
+        if self._pair_index is None or not self._pair_index.indexes(self.corners):
+            self._pair_index = PairIndex(self.shape, self.corners)
+        return self._pair_index
+
+    def seed_pair_index_from(self, prev: "OwnerMap") -> None:
+        """Carry ``prev``'s index to this map via a delta update.
+
+        The simulator calls this on consecutive steps' maps: with the
+        paper's incremental regrids most boxes survive, so the new index
+        is a cheap renumber-and-merge instead of a full rebuild.  A
+        no-op when either side has nothing to offer (no cached index,
+        shape mismatch, reuse off).
+        """
+        if (
+            self._pair_index is not None
+            or self.nboxes < 2
+            or self.shape != prev.shape
+            or pair_reuse_mode() != "auto"
+            or pair_index_mode() == "bruteforce"
+            or prev._pair_index is None
+        ):
+            return
+        self._pair_index = prev._pair_index.updated_to(self.corners)
 
     def validate_disjoint(self) -> None:
         """Raise ``ValueError`` if any two owned boxes overlap."""

@@ -27,7 +27,7 @@ the exact arithmetic runs:
   kernel to run its historical broadcast).
 
 Candidates are always deduplicated and returned in brute-force emission
-order (``ai``-major, ``bj``-minor via ``np.unique`` on packed pair
+order (``ai``-major, ``bj``-minor via a sort + dedup on packed pair
 keys), so every downstream kernel produces **bit-identical** outputs on
 every path — asserted by the property suite and by
 ``TraceSimulator(cross_check=True)``.
@@ -39,6 +39,23 @@ in-process with :func:`pair_index_forced`.  :func:`pair_index_counters`
 exposes pruning effectiveness (candidate pairs generated vs. exact
 pairs surviving vs. the brute-force product) for the benchmark tables
 and ``repro describe --kind pair-index``.
+
+**Persistent indexes** (:class:`PairIndex`) exploit the temporal
+coherence the paper's whole premise rests on: consecutive regrid steps
+share most of their boxes, so the bucket structure of one step's
+distribution is almost the next step's too.  A :class:`PairIndex` is
+built *once* per corner array (grid buckets over the level's fixed
+domain, or the sorted-sweep fallback for degenerate aspect ratios),
+answers every kernel query against that array within a simulator step,
+and is *delta-updated* to the next step's array from the box
+add/remove diff — falling back to a full rebuild when churn exceeds
+:data:`_DELTA_CHURN_FRACTION` of the boxes.  Candidates from a
+persistent index are a superset of the two-sided candidates and are
+canonicalised through the same :func:`_canonical` packing, so every
+downstream kernel stays **bit-identical** on every path.  The reuse
+layer is switched by ``REPRO_PAIR_REUSE`` (``auto`` | ``off``; default
+``auto``) or :func:`pair_reuse_forced`; ``off`` restores the exact
+per-query index builds of the PR-6 path.
 """
 
 from __future__ import annotations
@@ -53,17 +70,24 @@ from ..registry import declare_kind, register
 
 __all__ = [
     "PAIR_INDEX_MODES",
+    "PAIR_REUSE_MODES",
+    "PairIndex",
     "PairKernelCounters",
     "candidate_pairs",
     "pair_counters_scope",
     "pair_index_counters",
     "pair_index_forced",
     "pair_index_mode",
+    "pair_reuse_forced",
+    "pair_reuse_mode",
     "reset_pair_index_counters",
 ]
 
 #: Recognized values of ``REPRO_PAIR_INDEX``.
 PAIR_INDEX_MODES = ("auto", "grid", "sweep", "bruteforce")
+
+#: Recognized values of ``REPRO_PAIR_REUSE``.
+PAIR_REUSE_MODES = ("auto", "off")
 
 #: ``auto`` runs the historical broadcast below this pair product — for
 #: tiny inputs the quadratic kernel beats the index's setup cost.
@@ -78,8 +102,16 @@ _GRID_INCIDENCE_FACTOR = 32
 #: ``ownermap._PAIR_CHUNK_CELLS``).
 _SWEEP_CHUNK_PAIRS = 16_000_000
 
+#: A delta update is abandoned for a full rebuild when
+#: ``removed + added`` exceeds this fraction of the new box count —
+#: past that point re-bucketing everything is cheaper than merging.
+_DELTA_CHURN_FRACTION = 0.5
+
 #: In-process override installed by :func:`pair_index_forced`.
 _FORCED_MODE: str | None = None
+
+#: In-process override installed by :func:`pair_reuse_forced`.
+_FORCED_REUSE: str | None = None
 
 
 def pair_index_mode() -> str:
@@ -117,6 +149,43 @@ def pair_index_forced(mode: str):
         _FORCED_MODE = previous
 
 
+def pair_reuse_mode() -> str:
+    """The active index-reuse mode (``auto`` | ``off``).
+
+    ``auto`` lets kernels serve candidates from a persistent
+    :class:`PairIndex` when the caller threads one through; ``off``
+    restores the per-query index builds of the PR-6 path exactly.
+    :func:`pair_reuse_forced` overrides take precedence over the
+    ``REPRO_PAIR_REUSE`` environment variable (read per call).
+    """
+    mode = _FORCED_REUSE or os.environ.get("REPRO_PAIR_REUSE", "auto")
+    if mode not in PAIR_REUSE_MODES:
+        raise ValueError(
+            f"REPRO_PAIR_REUSE must be one of {PAIR_REUSE_MODES}, got {mode!r}"
+        )
+    return mode
+
+
+@contextmanager
+def pair_reuse_forced(mode: str):
+    """Force one reuse mode for the dynamic extent of the block.
+
+    CI and the property suite replay the same sweep with reuse on and
+    off and diff the store hashes — bit-identity is the invariant.
+    """
+    global _FORCED_REUSE
+    if mode not in PAIR_REUSE_MODES:
+        raise ValueError(
+            f"pair-reuse mode must be one of {PAIR_REUSE_MODES}, got {mode!r}"
+        )
+    previous = _FORCED_REUSE
+    _FORCED_REUSE = mode
+    try:
+        yield
+    finally:
+        _FORCED_REUSE = previous
+
+
 @dataclass
 class PairKernelCounters:
     """Pruning-effectiveness accounting of the pair kernels.
@@ -136,6 +205,9 @@ class PairKernelCounters:
     bruteforce_pairs: int = 0
     candidate_pairs: int = 0
     exact_pairs: int = 0
+    index_builds: int = 0
+    index_reuses: int = 0
+    delta_updates: int = 0
 
     def as_dict(self) -> dict:
         """JSON-able snapshot (benchmark tables, ``describe`` output)."""
@@ -148,6 +220,9 @@ class PairKernelCounters:
             "bruteforce_pairs": self.bruteforce_pairs,
             "candidate_pairs": self.candidate_pairs,
             "exact_pairs": self.exact_pairs,
+            "index_builds": self.index_builds,
+            "index_reuses": self.index_reuses,
+            "delta_updates": self.delta_updates,
         }
 
     def pruning_ratio(self) -> float:
@@ -230,7 +305,12 @@ def _record_brute(n_pairs: int) -> None:
 # ---------------------------------------------------------------------------
 
 def candidate_pairs(
-    a: np.ndarray, b: np.ndarray, closed: bool = False
+    a: np.ndarray,
+    b: np.ndarray,
+    closed: bool = False,
+    *,
+    a_index: "PairIndex | None" = None,
+    b_index: "PairIndex | None" = None,
 ) -> tuple[np.ndarray, np.ndarray] | None:
     """Candidate ``(ai, bj)`` index pairs of two corner arrays.
 
@@ -243,6 +323,13 @@ def candidate_pairs(
     ``closed`` treats boxes as closed intervals ``[lo, hi]`` so *abutting*
     boxes also cohabit a bucket — the face-contact query needs touching
     pairs, not just overlapping ones.
+
+    ``a_index`` / ``b_index`` are optional persistent :class:`PairIndex`
+    objects over ``a`` / ``b``.  When the reuse layer is on and an index
+    actually covers its operand (identity-checked), candidates come from
+    one one-sided probe instead of a fresh two-sided build; the result
+    goes through the same canonicalisation, so outputs are bit-identical
+    either way.
     """
     n_a, n_b = a.shape[0], b.shape[0]
     _record(queries=1, pair_product=n_a * n_b)
@@ -260,6 +347,17 @@ def candidate_pairs(
         # thousands of per-box subtraction queries the overlay kernels
         # issue cheap even when an indexed mode is forced.
         return _single_candidates(a, b, closed)
+    if pair_reuse_mode() == "auto":
+        if b_index is not None and b_index.indexes(b):
+            hit = b_index.query(a, closed)
+            if hit is not None:
+                qi, xj = hit
+                return _canonical(qi, xj, n_b)
+        if a_index is not None and a_index.indexes(a):
+            hit = a_index.query(b, closed)
+            if hit is not None:
+                qj, xi = hit
+                return _canonical(xi, qj, n_b)
     if mode == "sweep":
         return _sweep_candidates(a, b, closed)
     return _grid_candidates(a, b, closed)
@@ -282,13 +380,43 @@ def _single_candidates(
 
 
 def _canonical(ai: np.ndarray, bj: np.ndarray, n_b: int) -> tuple[np.ndarray, np.ndarray]:
-    """Dedup + sort into brute-force emission order (ai-major, bj-minor)."""
+    """Dedup + sort into brute-force emission order (ai-major, bj-minor).
+
+    Explicit sort + neighbour mask instead of :func:`np.unique`: the
+    duplicated candidate streams here are an order of magnitude cheaper
+    to sort than to hash, and the result is identical.
+    """
     if ai.size == 0:
         empty = np.empty(0, dtype=np.int64)
         return empty, empty
-    packed = np.unique(ai.astype(np.int64) * np.int64(n_b) + bj)
+    packed = ai.astype(np.int64) * np.int64(n_b) + bj
+    packed.sort()
+    keep = np.empty(packed.size, dtype=bool)
+    keep[0] = True
+    np.not_equal(packed[1:], packed[:-1], out=keep[1:])
+    packed = packed[keep]
     _record(candidate_pairs=packed.size)
     return packed // n_b, packed % n_b
+
+
+def _sorted_groups(
+    keys: np.ndarray,
+) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """``(unique keys, group start, group count)`` of a pre-sorted array.
+
+    Equivalent to ``np.unique(keys, return_index=True,
+    return_counts=True)`` but skips the redundant hash/sort pass — the
+    callers sorted ``keys`` already.
+    """
+    if keys.size == 0:
+        empty = np.empty(0, dtype=np.int64)
+        return keys[:0], empty, empty
+    boundary = np.empty(keys.size, dtype=bool)
+    boundary[0] = True
+    np.not_equal(keys[1:], keys[:-1], out=boundary[1:])
+    starts = np.flatnonzero(boundary)
+    counts = np.diff(np.append(starts, keys.size))
+    return keys[starts], starts, counts
 
 
 def _grid_candidates(
@@ -329,8 +457,8 @@ def _grid_candidates(
     order_b = np.argsort(kb, kind="stable")
     ka, ia = ka[order_a], ia[order_a]
     kb, ib = kb[order_b], ib[order_b]
-    ua, start_a, count_a = np.unique(ka, return_index=True, return_counts=True)
-    ub, start_b, count_b = np.unique(kb, return_index=True, return_counts=True)
+    ua, start_a, count_a = _sorted_groups(ka)
+    ub, start_b, count_b = _sorted_groups(kb)
     _, pa, pb = np.intersect1d(ua, ub, assume_unique=True, return_indices=True)
     if pa.size == 0:
         empty = np.empty(0, dtype=np.int64)
@@ -356,6 +484,9 @@ def _cell_keys(
     cell it touches, keys packed with the global grid strides.
     """
     n, ndim = lo_cell.shape
+    if n == 0:
+        empty = np.empty(0, dtype=np.int64)
+        return empty, empty
     counts = np.prod(spans, axis=1, dtype=np.int64)
     total = int(counts.sum())
     box_ids = np.repeat(np.arange(n, dtype=np.int64), counts)
@@ -391,8 +522,25 @@ def _sweep_candidates(
     a_lo, a_hi = a[:, axis], a[:, ndim + axis]
     b_lo, b_hi = b[:, axis], b[:, ndim + axis]
     order = np.argsort(b_lo, kind="stable")
-    b_lo_s = b_lo[order]
-    b_hi_s = b_hi[order]
+    ii, jj = _sweep_join(a_lo, a_hi, b_lo[order], b_hi[order], order, closed)
+    return _canonical(ii, jj, n_b)
+
+
+def _sweep_join(
+    a_lo: np.ndarray,
+    a_hi: np.ndarray,
+    b_lo_s: np.ndarray,
+    b_hi_s: np.ndarray,
+    order: np.ndarray,
+    closed: bool,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Chunked interval join against pre-sorted ``b`` intervals.
+
+    Returns raw ``(ai, bj)`` pairs (``bj`` in original ``b`` row
+    numbers, possibly unsorted) — callers canonicalise.  Shared by the
+    one-shot sweep path and :class:`PairIndex`'s persistent sweep kind.
+    """
+    n_a = a_lo.shape[0]
     # Candidates of row i: sorted-prefix j with b_lo_j < a_hi_i (<= when
     # closed), filtered by b_hi_j > a_lo_i (>= when closed).
     side = "right" if closed else "left"
@@ -419,7 +567,302 @@ def _sweep_candidates(
     if not out_i:
         empty = np.empty(0, dtype=np.int64)
         return empty, empty
-    return _canonical(np.concatenate(out_i), np.concatenate(out_j), n_b)
+    return np.concatenate(out_i), np.concatenate(out_j)
+
+
+# ---------------------------------------------------------------------------
+# persistent indexes
+# ---------------------------------------------------------------------------
+
+def _row_keys(corners: np.ndarray) -> np.ndarray:
+    """One opaque sortable key per corner row (for the add/remove diff).
+
+    Box rows within an owner map are unique (patches are disjoint), so
+    the raw row bytes identify a box across steps.
+    """
+    c = np.ascontiguousarray(corners, dtype=np.int64)
+    if c.shape[0] == 0:
+        return np.empty(0, dtype=np.dtype((np.void, 8)))
+    return c.view(np.dtype((np.void, c.dtype.itemsize * c.shape[1]))).ravel()
+
+
+class PairIndex:
+    """A persistent one-sided candidate index over one corner array.
+
+    Built once per box distribution (grid buckets anchored to the
+    level's fixed ``shape`` domain, or the sorted-sweep fallback when
+    bucket incidences explode), then probed by every kernel query that
+    touches the array within a step, and carried to the *next* step via
+    :meth:`updated_to` — a delta update from the box add/remove diff
+    that reuses the surviving incidences instead of re-bucketing
+    everything.
+
+    A probe returns a candidate **superset** in raw order; callers run
+    it through :func:`_canonical`, so results are bit-identical to the
+    two-sided per-query path (the candidate sets may differ — the exact
+    arithmetic downstream erases the difference).
+    """
+
+    __slots__ = (
+        "shape",
+        "_ext",
+        "_n",
+        "_kind",
+        "_cell",
+        "_dims",
+        "_strides",
+        "_keys",
+        "_rows",
+        "_ukeys",
+        "_ustart",
+        "_ucount",
+        "_axis",
+        "_order",
+        "_lo_s",
+        "_hi_s",
+    )
+
+    def __init__(self, shape, corners: np.ndarray):
+        self.shape = tuple(int(s) for s in shape)
+        self._ext = corners
+        self._n = int(corners.shape[0])
+        self._cell = self._dims = self._strides = None
+        self._keys = self._rows = None
+        self._ukeys = self._ustart = self._ucount = None
+        self._axis = None
+        self._order = self._lo_s = self._hi_s = None
+        if self._n == 0:
+            self._kind = "empty"
+            return
+        _record(index_builds=1)
+        if pair_index_mode() == "sweep" or not self._build_grid():
+            self._build_sweep()
+
+    # -- introspection ----------------------------------------------------
+
+    @property
+    def kind(self) -> str:
+        """``grid`` | ``sweep`` | ``empty``."""
+        return self._kind
+
+    @property
+    def nboxes(self) -> int:
+        return self._n
+
+    def indexes(self, corners: np.ndarray) -> bool:
+        """Whether this index covers exactly that corner array (identity)."""
+        return corners is self._ext
+
+    # -- construction -----------------------------------------------------
+
+    def _build_grid(self) -> bool:
+        """Bucket the boxes over the domain grid; False on explosion."""
+        corners = self._ext
+        ndim = corners.shape[1] // 2
+        lo = corners[:, :ndim]
+        hi = corners[:, ndim:]
+        cell = np.maximum(1, np.median(hi - lo, axis=0).astype(np.int64))
+        shape_arr = np.asarray(self.shape, dtype=np.int64)
+        while True:
+            # Anchored to the level's fixed domain (base 0) so any
+            # future in-domain box fits the same grid — delta updates
+            # never force a rebuild for bounds reasons.
+            dims = shape_arr // cell + 1
+            if int(np.prod([int(d) for d in dims])) < 2**62:
+                break
+            cell = cell * 2
+        lo_cell, spans = self._incidence_cells(lo, hi, cell, dims)
+        if int(np.prod(spans, axis=1, dtype=np.int64).sum()) > (
+            _GRID_INCIDENCE_FACTOR * self._n + 1024
+        ):
+            return False
+        strides = np.ones(ndim, dtype=np.int64)
+        for d in range(ndim - 2, -1, -1):
+            strides[d] = strides[d + 1] * dims[d + 1]
+        keys, rows = _cell_keys(lo_cell, spans, strides)
+        self._kind = "grid"
+        self._cell, self._dims, self._strides = cell, dims, strides
+        self._set_incidences(keys, rows.astype(np.int64))
+        return True
+
+    @staticmethod
+    def _incidence_cells(
+        lo: np.ndarray, hi: np.ndarray, cell: np.ndarray, dims: np.ndarray
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Clipped (lo_cell, spans) of the *closed* cell ranges.
+
+        Closed incidence (``hi // cell``) covers a superset of both the
+        open and closed query semantics, so one stored index serves
+        intersection *and* face-contact probes.
+        """
+        lo_cell = np.clip(lo // cell, 0, dims - 1)
+        hi_cell = np.clip(hi // cell, 0, dims - 1)
+        return lo_cell, hi_cell - lo_cell + 1
+
+    def _set_incidences(self, keys: np.ndarray, rows: np.ndarray) -> None:
+        order = np.argsort(keys, kind="stable")
+        self._keys = keys[order]
+        self._rows = rows[order]
+        self._ukeys, self._ustart, self._ucount = _sorted_groups(self._keys)
+
+    def _build_sweep(self) -> None:
+        corners = self._ext
+        ndim = corners.shape[1] // 2
+        lo = corners[:, :ndim]
+        hi = corners[:, ndim:]
+        spread = lo.max(axis=0) - lo.min(axis=0)
+        med = np.maximum(1, np.median(hi - lo, axis=0))
+        self._kind = "sweep"
+        self._axis = int(np.argmax(spread / med))
+        self._resort_sweep()
+
+    def _resort_sweep(self) -> None:
+        ndim = self._ext.shape[1] // 2
+        lo = self._ext[:, self._axis]
+        hi = self._ext[:, ndim + self._axis]
+        order = np.argsort(lo, kind="stable")
+        self._order = order.astype(np.int64)
+        self._lo_s = lo[order]
+        self._hi_s = hi[order]
+
+    # -- probing ----------------------------------------------------------
+
+    def query(
+        self, q: np.ndarray, closed: bool
+    ) -> tuple[np.ndarray, np.ndarray] | None:
+        """Raw candidate ``(query_row, indexed_row)`` pairs, or ``None``.
+
+        ``None`` means the probe declined (query-side bucket incidences
+        would explode) and the caller should fall back to the two-sided
+        per-query path.  Pairs are a superset of all intersecting
+        (``closed``: touching) pairs, unordered and possibly duplicated
+        — callers canonicalise.
+        """
+        if self._kind == "empty":
+            empty = np.empty(0, dtype=np.int64)
+            return empty, empty
+        if self._kind == "sweep":
+            return self._sweep_query(q, closed)
+        return self._grid_query(q, closed)
+
+    def _grid_query(
+        self, q: np.ndarray, closed: bool
+    ) -> tuple[np.ndarray, np.ndarray] | None:
+        ndim = self._dims.size
+        lo = q[:, :ndim]
+        inclusive_hi = q[:, ndim:] if closed else q[:, ndim:] - 1
+        lo_cell = np.clip(lo // self._cell, 0, self._dims - 1)
+        hi_cell = np.clip(inclusive_hi // self._cell, 0, self._dims - 1)
+        spans = hi_cell - lo_cell + 1
+        good = (spans > 0).all(axis=1)
+        row_map = None
+        if not good.all():
+            # Zero-extent open boxes can't overlap anything — drop them,
+            # remembering original row numbers for the emitted pairs.
+            row_map = np.flatnonzero(good)
+            lo_cell, spans = lo_cell[good], spans[good]
+        incidences = int(np.prod(spans, axis=1, dtype=np.int64).sum())
+        if incidences > _GRID_INCIDENCE_FACTOR * q.shape[0] + 1024:
+            return None
+        _record(grid_queries=1, index_reuses=1)
+        qkeys, qrows = _cell_keys(lo_cell, spans, self._strides)
+        order = np.argsort(qkeys, kind="stable")
+        qkeys, qrows = qkeys[order], qrows[order]
+        uq, qstart, qcount = _sorted_groups(qkeys)
+        _, pq, px = np.intersect1d(
+            uq, self._ukeys, assume_unique=True, return_indices=True
+        )
+        if pq.size == 0:
+            empty = np.empty(0, dtype=np.int64)
+            return empty, empty
+        cq, cx = qcount[pq], self._ucount[px]
+        sq, sx = qstart[pq], self._ustart[px]
+        block = cq * cx
+        starts = np.concatenate(([0], np.cumsum(block)[:-1]))
+        total = int(block.sum())
+        gid = np.repeat(np.arange(block.size), block)
+        t = np.arange(total, dtype=np.int64) - np.repeat(starts, block)
+        qi = qrows[sq[gid] + t // cx[gid]]
+        xj = self._rows[sx[gid] + t % cx[gid]]
+        if row_map is not None:
+            qi = row_map[qi]
+        return qi, xj
+
+    def _sweep_query(
+        self, q: np.ndarray, closed: bool
+    ) -> tuple[np.ndarray, np.ndarray]:
+        _record(sweep_queries=1, index_reuses=1)
+        ndim = q.shape[1] // 2
+        a_lo = q[:, self._axis]
+        a_hi = q[:, ndim + self._axis]
+        return _sweep_join(a_lo, a_hi, self._lo_s, self._hi_s, self._order, closed)
+
+    # -- delta updates ----------------------------------------------------
+
+    def updated_to(self, new_corners: np.ndarray) -> "PairIndex":
+        """A fresh :class:`PairIndex` over ``new_corners``, reusing work.
+
+        Diffs the two box sets by row identity; when churn stays under
+        :data:`_DELTA_CHURN_FRACTION`, surviving grid incidences are
+        renumbered and merged with the added boxes' incidences (grid
+        kind) or the sweep order is simply re-sorted (sweep kind) — far
+        cheaper than re-bucketing.  Above the threshold, builds from
+        scratch.  ``self`` is left untouched and stays valid.
+        """
+        n_new = int(new_corners.shape[0])
+        if self._kind == "empty" or n_new == 0:
+            return PairIndex(self.shape, new_corners)
+        common, old_idx, new_idx = np.intersect1d(
+            _row_keys(self._ext), _row_keys(new_corners), return_indices=True
+        )
+        removed = self._n - common.size
+        added = n_new - common.size
+        if removed + added > _DELTA_CHURN_FRACTION * max(1, n_new):
+            return PairIndex(self.shape, new_corners)
+        new = object.__new__(PairIndex)
+        new.shape = self.shape
+        new._ext = new_corners
+        new._n = n_new
+        new._kind = self._kind
+        new._cell = new._dims = new._strides = None
+        new._keys = new._rows = None
+        new._ukeys = new._ustart = new._ucount = None
+        new._axis = None
+        new._order = new._lo_s = new._hi_s = None
+        if self._kind == "sweep":
+            new._kind = "sweep"
+            new._axis = self._axis
+            new._resort_sweep()
+            _record(delta_updates=1)
+            return new
+        # Grid kind: renumber surviving incidences, bucket only the
+        # added boxes on the same domain-anchored grid.
+        remap = np.full(self._n, -1, dtype=np.int64)
+        remap[old_idx] = new_idx
+        mapped = remap[self._rows]
+        keep = mapped >= 0
+        kept_keys = self._keys[keep]
+        kept_rows = mapped[keep]
+        added_rows = np.setdiff1d(
+            np.arange(n_new, dtype=np.int64), new_idx, assume_unique=True
+        )
+        ndim = self._dims.size
+        lo = new_corners[added_rows, :ndim]
+        hi = new_corners[added_rows, ndim:]
+        lo_cell, spans = self._incidence_cells(lo, hi, self._cell, self._dims)
+        add_keys, add_local = _cell_keys(lo_cell, spans, self._strides)
+        total = kept_keys.size + add_keys.size
+        if total > _GRID_INCIDENCE_FACTOR * n_new + 1024:
+            # Added boxes degenerate enough to blow the incidence budget
+            # — rebuild from scratch (which may pick the sweep kind).
+            return PairIndex(self.shape, new_corners)
+        new._cell, new._dims, new._strides = self._cell, self._dims, self._strides
+        new._set_incidences(
+            np.concatenate((kept_keys, add_keys)),
+            np.concatenate((kept_rows, added_rows[add_local])),
+        )
+        _record(delta_updates=1)
+        return new
 
 
 # ---------------------------------------------------------------------------
@@ -453,3 +896,30 @@ def _register_modes() -> None:
 
 
 _register_modes()
+
+
+declare_kind("pair-reuse", "pair-index reuse mode")
+
+
+def _register_reuse_modes() -> None:
+    docs = {
+        "auto": (
+            "persistent per-level PairIndex shared by all kernel queries in "
+            "a step and delta-updated between steps (the default; falls back "
+            f"to a full rebuild above {_DELTA_CHURN_FRACTION:.0%} box churn)"
+        ),
+        "off": (
+            "rebuild indexes per query — the exact PR-6 hot path, kept as "
+            "the bit-identity reference"
+        ),
+    }
+    for name, description in docs.items():
+        register(
+            "pair-reuse",
+            name,
+            (lambda mode: lambda: pair_reuse_forced(mode))(name),
+            description=description,
+        )
+
+
+_register_reuse_modes()

@@ -37,7 +37,7 @@ from ..geometry import (
     OwnerMap,
     face_contacts,
     matched_volume,
-    overlap_volume,
+    overlap_and_matched_volume,
     overlay_corners,
     upsample,
 )
@@ -61,9 +61,12 @@ def ghost_face_stats(owners: OwnerMap) -> tuple[int, int]:
     """``(cut faces, distinct unordered rank pairs)`` of one level map.
 
     One pair sweep serves both ghost metrics; the simulator uses this to
-    avoid running the O(boxes^2) face scan twice per level.
+    avoid running the O(boxes^2) face scan twice per level.  The sweep
+    probes the level's persistent pair index when the reuse layer is on.
     """
-    ra, rb, area = face_contacts(owners.corners, owners.ranks)
+    ra, rb, area = face_contacts(
+        owners.corners, owners.ranks, index=owners.pair_index()
+    )
     if area.size == 0:
         return 0, 0
     lo = np.minimum(ra, rb).astype(np.int64)
@@ -127,7 +130,9 @@ def per_rank_comm_cells(
 ) -> np.ndarray:
     """Ghost cells sent+received per rank per local step (one level)."""
     if isinstance(owners, OwnerMap):
-        ra, rb, area = face_contacts(owners.corners, owners.ranks)
+        ra, rb, area = face_contacts(
+            owners.corners, owners.ranks, index=owners.pair_index()
+        )
         counts = np.zeros(nprocs, dtype=np.int64)
         np.add.at(counts, ra, area)
         np.add.at(counts, rb, area)
@@ -163,9 +168,14 @@ def interlevel_transfer_cells(
                 f"{coarse.shape} x {ratio}"
             )
         parents = coarse.corners * ratio
-        both = overlap_volume(parents, fine.corners)
-        same = matched_volume(
-            parents, coarse.ranks, fine.corners, fine.ranks
+        # One probe of the fine level's persistent index answers both
+        # sums (falls back to the two historical kernels without one).
+        both, same = overlap_and_matched_volume(
+            parents,
+            coarse.ranks,
+            fine.corners,
+            fine.ranks,
+            b_index=fine.pair_index(),
         )
         return both - same
     expected = tuple(s * ratio for s in coarse.shape)
@@ -231,8 +241,12 @@ def migration_cells(prev: "PartitionResult", cur: "PartitionResult") -> int:
                 raise ValueError(
                     f"level {l} raster shapes differ: {pl.shape} vs {b.shape}"
                 )
-            src_c, src_r = overlay_corners(pl.corners, pl.ranks, src_c, src_r)
-        total += b.ncells - matched_volume(src_c, src_r, b.corners, b.ranks)
+            src_c, src_r = overlay_corners(
+                pl.corners, pl.ranks, src_c, src_r, top_index=pl.pair_index()
+            )
+        total += b.ncells - matched_volume(
+            src_c, src_r, b.corners, b.ranks, b_index=b.pair_index()
+        )
     return total
 
 

@@ -58,6 +58,9 @@ def _kernel_span(name: str, **attrs):
         counters.pair_product,
         counters.candidate_pairs,
         counters.exact_pairs,
+        counters.index_builds,
+        counters.index_reuses,
+        counters.delta_updates,
     )
     with span(name, cat="kernel", **attrs) as sp:
         yield
@@ -65,7 +68,26 @@ def _kernel_span(name: str, **attrs):
             pair_product=counters.pair_product - before[0],
             candidate_pairs=counters.candidate_pairs - before[1],
             exact_pairs=counters.exact_pairs - before[2],
+            index_builds=counters.index_builds - before[3],
+            index_reuses=counters.index_reuses - before[4],
+            delta_updates=counters.delta_updates - before[5],
         )
+
+
+def _seed_pair_indexes(
+    previous: PartitionResult | None, result: PartitionResult
+) -> None:
+    """Warm the new distribution's per-level pair indexes from the last.
+
+    Temporal coherence — the paper's core premise — means consecutive
+    regrid steps share most of their boxes, so the previous step's
+    persistent indexes delta-update into the new maps instead of being
+    rebuilt from scratch.  A no-op when the reuse layer is off.
+    """
+    if previous is None:
+        return
+    for prev_map, cur_map in zip(previous.maps, result.maps):
+        cur_map.seed_pair_index_from(prev_map)
 
 
 @dataclass(frozen=True, slots=True)
@@ -348,6 +370,7 @@ class TraceSimulator:
                 result = partitioner.partition(
                     snap.hierarchy, nprocs, previous
                 )
+            _seed_pair_indexes(previous, result)
             with span("sim.measure_step", cat="sim", step=snap.step):
                 metrics.append(
                     self.measure_step(
@@ -395,6 +418,7 @@ class TraceSimulator:
                 result = partitioner.partition(
                     snap.hierarchy, nprocs, previous
                 )
+            _seed_pair_indexes(previous, result)
             with span("sim.measure_step", cat="sim", step=snap.step):
                 metrics.append(
                     self.measure_step(

@@ -254,6 +254,16 @@ def _counters_summary(counters: dict) -> list[str]:
             f"(x{product / examined:.1f} pruning), "
             f"{exact:,} exact pairs survived"
         )
+    builds = counters.get("index_builds", 0)
+    reuses = counters.get("index_reuses", 0)
+    deltas = counters.get("delta_updates", 0)
+    if builds or reuses or deltas:
+        served = builds + reuses
+        reuse_frac = reuses / served if served else 0.0
+        lines.append(
+            f"  index reuse: {builds} builds, {deltas} delta updates, "
+            f"{reuses} reuses ({reuse_frac:.0%} of queries served warm)"
+        )
     return lines
 
 
