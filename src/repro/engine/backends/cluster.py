@@ -27,7 +27,15 @@ from pathlib import Path
 from typing import Sequence
 
 from ...registry import register
-from ...telemetry import counter, gauge, telemetry_active
+from ...telemetry import (
+    counter,
+    flight_dump,
+    flight_record,
+    gauge,
+    metric_gauge,
+    metric_inc,
+    telemetry_active,
+)
 from ..graph import Plan
 from ..spec import RunSpec
 from ..store import ResultStore
@@ -272,6 +280,7 @@ class ClusterBackend(ExecutionBackend):
                     continue
                 if store.has(key):
                     done.add(key)
+                    metric_inc("repro_queue_jobs_done_total")
                     if telemetry_active():
                         ticket = queue.read_ticket(key)
                         enqueued_at = (ticket or {}).get("enqueued_at")
@@ -297,6 +306,11 @@ class ClusterBackend(ExecutionBackend):
                 ):
                     queue.retire(key)
                     dead[key] = queue.failures(key)
+                    metric_inc("repro_queue_retry_exhausted_total")
+                    flight_record(
+                        "job", "retry-exhausted", key=key[:12],
+                        depth=depth, attempts=ticket.get("attempt", 0),
+                    )
                     counter(
                         "queue.retry_exhausted", depth=depth, key=key[:12],
                         attempts=ticket.get("attempt", 0),
@@ -327,6 +341,12 @@ class ClusterBackend(ExecutionBackend):
                       depth=depth)
                 gauge("queue.leased", leased, depth=depth)
                 gauge("queue.done", len(done), depth=depth)
+                metric_gauge(
+                    "repro_queue_depth", total - len(done) - len(dead),
+                    depth=depth,
+                )
+                metric_gauge("repro_queue_leased", leased, depth=depth)
+                metric_gauge("repro_queue_done", len(done), depth=depth)
                 last_status = status
                 last_progress = now
             if (
@@ -371,6 +391,13 @@ class ClusterBackend(ExecutionBackend):
                     f"{'s' if len(records) != 1 else ''}; "
                     f"{_last_error_line(records)}"
                 )
+            # The broker is the last observer standing when every retry
+            # is burned — its black box names the dead jobs for triage.
+            flight_dump(
+                store.root, "retry-exhausted",
+                error=_last_error_line(next(iter(dead.values()))),
+                extra={"jobs": sorted(k[:12] for k in dead)},
+            )
             raise ClusterJobError("\n".join(lines), dead)
 
     # -- introspection -----------------------------------------------------

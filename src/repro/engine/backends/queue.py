@@ -38,6 +38,7 @@ import time
 from pathlib import Path
 from typing import TYPE_CHECKING
 
+from ...telemetry import flight_record, metric_inc
 from ..spec import RunSpec
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard (typing only)
@@ -125,6 +126,7 @@ class JobQueue:
                 "enqueued_at": time.time() if now is None else now,
             },
         )
+        metric_inc("repro_queue_enqueued_total")
         return True
 
     def read_ticket(self, key: str) -> dict | None:
@@ -198,9 +200,11 @@ class JobQueue:
         try:
             os.link(stage, path)
         except FileExistsError:
+            metric_inc("repro_queue_claims_total", outcome="lost")
             return False
         finally:
             stage.unlink(missing_ok=True)
+        metric_inc("repro_queue_claims_total", outcome="won")
         return True
 
     def read_lease(self, key: str) -> dict | None:
@@ -264,6 +268,12 @@ class JobQueue:
             key = lease["key"]
             self.lease_path(key).unlink(missing_ok=True)
             self.bump_attempt(key, lease.get("attempt", 0))
+            metric_inc("repro_queue_lease_expired_total")
+            flight_record(
+                "lease", "expired", key=str(key)[:12],
+                owner=lease.get("owner"),
+                attempt=lease.get("attempt", 0),
+            )
             expired.append(lease)
         return expired
 
@@ -291,6 +301,11 @@ class JobQueue:
                 "error": error,
                 "failed_at": time.time() if now is None else now,
             },
+        )
+        metric_inc("repro_queue_failures_total")
+        flight_record(
+            "job", "fail-recorded", key=key[:12], owner=owner,
+            attempt=attempt,
         )
         self.bump_attempt(key, attempt)
         self.release(key, owner)

@@ -33,7 +33,17 @@ import time
 import traceback
 from typing import Callable
 
-from ...telemetry import flush_active, gauge, span
+from ...telemetry import (
+    flight_dump,
+    flight_record,
+    flush_active,
+    gauge,
+    metric_gauge,
+    metric_inc,
+    metric_observe,
+    span,
+    write_metrics_files,
+)
 from ..spec import RunSpec
 from ..store import ResultStore
 from .queue import JobQueue, new_worker_id
@@ -88,6 +98,7 @@ class Worker:
         idle_timeout: float | None = None,
         max_jobs: int | None = None,
         die_after_claims: int | None = None,
+        snapshot_interval: float = 5.0,
         log: Callable[[str], None] | None = None,
     ) -> None:
         if poll_interval <= 0 or heartbeat_interval <= 0:
@@ -100,9 +111,14 @@ class Worker:
         self.idle_timeout = idle_timeout
         self.max_jobs = max_jobs
         self.die_after_claims = die_after_claims
+        self.snapshot_interval = snapshot_interval
         self.jobs_done = 0
         self.jobs_failed = 0
+        #: Key of the job currently executing (None while idle) — read
+        #: by the SIGTERM handler to decide whether a kill is mid-job.
+        self.current_job: str | None = None
         self._claims = 0
+        self._last_snapshot = 0.0
         self._stop = threading.Event()
         self._log = log or (lambda line: None)
 
@@ -110,13 +126,39 @@ class Worker:
         """Ask the serving loop to exit after the current job."""
         self._stop.set()
 
+    def _maybe_write_snapshot(self, force: bool = False) -> None:
+        """Publish the metrics file snapshot, throttled to the interval.
+
+        Best-effort: a full disk or a yanked store must not take the
+        worker down — file snapshots are an observability convenience,
+        the lease protocol is the correctness plane.
+        """
+        now = time.monotonic()
+        if not force and now - self._last_snapshot < self.snapshot_interval:
+            return
+        self._last_snapshot = now
+        try:
+            write_metrics_files(self.store.root)
+        except OSError:
+            pass
+
     # -- the serving loop --------------------------------------------------
     def run(self) -> int:
-        """Serve the queue until stopped; returns jobs completed."""
+        """Serve the queue until stopped; returns jobs completed.
+
+        An exception escaping the serving loop (not a per-job failure —
+        those are caught in :meth:`_process`) dumps the flight recorder
+        to ``<store>/telemetry/crash/`` before propagating, so even a
+        worker with telemetry off leaves a postmortem trail.
+        """
         self.queue.register_worker(self.worker_id)
         self._log(
             f"worker {self.worker_id} serving {self.queue.root} "
             f"-> {self.store.root}"
+        )
+        flight_record(
+            "worker", "start", worker=self.worker_id,
+            queue=str(self.queue.root),
         )
         idle_since = time.time()
         try:
@@ -134,11 +176,24 @@ class Worker:
                     self.queue.heartbeat_worker(
                         self.worker_id, jobs_done=self.jobs_done
                     )
+                    self._maybe_write_snapshot()
                     self._stop.wait(self.poll_interval)
                     continue
                 self._process(ticket)
                 idle_since = time.time()
+        except Exception:
+            flight_dump(
+                self.store.root, "worker-unhandled-exception",
+                error=traceback.format_exc(),
+                extra={"worker_id": self.worker_id, "job": self.current_job},
+            )
+            raise
         finally:
+            flight_record(
+                "worker", "exit", worker=self.worker_id,
+                jobs_done=self.jobs_done, jobs_failed=self.jobs_failed,
+            )
+            self._maybe_write_snapshot(force=True)
             self.queue.unregister_worker(self.worker_id)
         return self.jobs_done
 
@@ -159,11 +214,24 @@ class Worker:
                 continue
             if self.queue.claim(key, self.worker_id, attempt):
                 self._claims += 1
+                metric_inc("repro_worker_claims_total")
+                flight_record(
+                    "claim", key[:12], worker=self.worker_id,
+                    attempt=attempt,
+                )
                 if (
                     self.die_after_claims is not None
                     and self._claims >= self.die_after_claims
                 ):
                     # Fault injection: crash while holding the lease.
+                    # SIGKILL is uncatchable, so the black box must be
+                    # written *before* the shot — exactly what a real
+                    # OOM-killed worker cannot do, which is why the
+                    # lease-expiry path in the broker also dumps.
+                    flight_dump(
+                        self.store.root, "fault-injection-sigkill",
+                        extra={"worker_id": self.worker_id, "job": key},
+                    )
                     os.kill(os.getpid(), signal.SIGKILL)
                 return ticket
         return None
@@ -176,6 +244,11 @@ class Worker:
 
         key = ticket["key"]
         attempt = ticket.get("attempt", 0)
+        self.current_job = key
+        flight_record(
+            "job", "start", key=key[:12], worker=self.worker_id,
+            attempt=attempt, label=ticket.get("label", ""),
+        )
         stop_beat = threading.Event()
         last_beat = time.monotonic()
 
@@ -227,14 +300,32 @@ class Worker:
                 job_span.annotate(
                     outcome="completed", wall_s=time.time() - started
                 )
+            metric_inc("repro_worker_jobs_total", outcome="completed")
+            metric_observe(
+                "repro_worker_job_seconds", time.time() - started,
+                outcome="completed",
+            )
+            flight_record(
+                "job", "completed", key=key[:12], worker=self.worker_id,
+                wall_s=round(time.time() - started, 4),
+            )
             self._log(
                 f"worker {self.worker_id} completed "
                 f"{ticket.get('label', key[:12])} "
                 f"({time.time() - started:.2f}s, attempt {attempt})"
             )
-        except Exception:
+        except Exception as exc:
             self.jobs_failed += 1
             job_span.annotate(outcome="failed")
+            metric_inc("repro_worker_jobs_total", outcome="failed")
+            metric_observe(
+                "repro_worker_job_seconds", time.time() - started,
+                outcome="failed",
+            )
+            flight_record(
+                "job", "failed", key=key[:12], worker=self.worker_id,
+                attempt=attempt, error=repr(exc),
+            )
             self.queue.fail(
                 key, self.worker_id, attempt, traceback.format_exc()
             )
@@ -243,6 +334,9 @@ class Worker:
                 f"{ticket.get('label', key[:12])} (attempt {attempt})"
             )
         finally:
+            self.current_job = None
+            metric_gauge("repro_worker_jobs_done", self.jobs_done)
+            metric_gauge("repro_worker_jobs_failed", self.jobs_failed)
             stop_beat.set()
             beater.join(timeout=self.heartbeat_interval + 1.0)
             # A worker draining short jobs back to back never reaches the
@@ -253,3 +347,4 @@ class Worker:
             # Crash-safe event log: everything up to and including this
             # job survives a SIGKILL during the next one.
             flush_active()
+            self._maybe_write_snapshot()

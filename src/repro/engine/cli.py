@@ -350,17 +350,31 @@ def _cmd_sweep(args) -> int:
     # One dependency-aware resolution pass for the summary numbers (the
     # executor rebuilds its own against the live store).
     counts = build_plan(specs, store, force=args.force).counts()
-    results = run_specs(
-        specs,
-        n_jobs=args.n_jobs,
-        store=store,
-        force=args.force,
-        progress=None if args.quiet else print,
-        # The resolved instance already carries --workers; passing it
-        # through run_specs' workers= too would double-configure it.
-        backend=_resolve_cli_backend(args),
-        verbose=args.verbose,
-    )
+    server = None
+    if args.metrics_port is not None:
+        from ..telemetry import MetricsServer
+
+        server = MetricsServer(port=args.metrics_port).start()
+        if not args.quiet:
+            print(
+                f"broker metrics on "
+                f"http://{server.host}:{server.port}/metrics"
+            )
+    try:
+        results = run_specs(
+            specs,
+            n_jobs=args.n_jobs,
+            store=store,
+            force=args.force,
+            progress=None if args.quiet else print,
+            # The resolved instance already carries --workers; passing it
+            # through run_specs' workers= too would double-configure it.
+            backend=_resolve_cli_backend(args),
+            verbose=args.verbose,
+        )
+    finally:
+        if server is not None:
+            server.stop()
     _print_sweep_table(results)
     implicit = counts["implicit_compute"]
     print(
@@ -554,7 +568,7 @@ def _cmd_describe(args) -> int:
 def _cmd_worker(args) -> int:
     import signal
 
-    from ..telemetry import session
+    from ..telemetry import MetricsServer, flight_dump, session
     from .backends import JobQueue, Worker
 
     # --quiet survives as shorthand for --log-level warning (per-job
@@ -579,15 +593,50 @@ def _cmd_worker(args) -> int:
         die_after_claims=args.die_after_claims,
         log=worker_logger.info,
     )
+
+    def _worker_health() -> dict:
+        return {
+            "status": "ok",
+            "worker_id": worker.worker_id,
+            "jobs_done": worker.jobs_done,
+            "jobs_failed": worker.jobs_failed,
+            "current_job": worker.current_job,
+        }
+
+    server = None
+    if args.metrics_port is not None:
+        server = MetricsServer(
+            port=args.metrics_port, host=args.metrics_host,
+            health=_worker_health,
+        ).start()
+        worker_logger.info(
+            "worker %s metrics on http://%s:%d/metrics",
+            worker.worker_id, server.host, server.port,
+        )
+
     # SIGTERM (the broker reaping auto-spawned daemons, systemd, ...)
-    # requests a graceful exit after the current job.
-    signal.signal(signal.SIGTERM, lambda signum, frame: worker.stop())
+    # requests a graceful exit after the current job.  A TERM that lands
+    # *mid-job* is a kill worth a postmortem — dump the flight recorder;
+    # an idle TERM is just the broker tidying up, no black box needed.
+    def _on_sigterm(signum, frame):
+        if worker.current_job is not None:
+            flight_dump(
+                store.root, "sigterm-mid-job",
+                extra={"worker_id": worker.worker_id,
+                       "job": worker.current_job},
+            )
+        worker.stop()
+
+    signal.signal(signal.SIGTERM, _on_sigterm)
     try:
         with session(store.root, name=f"worker-{worker.worker_id}",
                      meta={"worker_id": worker.worker_id}):
             done = worker.run()
     except KeyboardInterrupt:  # pragma: no cover - interactive only
         done = worker.jobs_done
+    finally:
+        if server is not None:
+            server.stop()
     worker_logger.info(
         "worker %s exiting: %d completed, %d failed",
         worker.worker_id, done, worker.jobs_failed,
@@ -612,7 +661,7 @@ def _cmd_profile(args) -> int:
 
 
 def _cmd_top(args) -> int:
-    from ..telemetry import render_cluster_status
+    from ..telemetry import cluster_status_doc, render_cluster_status
     from .backends import JobQueue
 
     store = _store_from(args)
@@ -621,6 +670,16 @@ def _cmd_top(args) -> int:
         if args.queue_dir
         else JobQueue.for_store(store)
     )
+    if args.json:
+        if args.watch:
+            raise SystemExit("--json takes one snapshot; drop --watch")
+        print(json.dumps(
+            cluster_status_doc(
+                store, queue, lease_timeout=args.lease_timeout
+            ),
+            indent=1, sort_keys=True,
+        ))
+        return 0
     if not args.watch:
         print(render_cluster_status(
             store, queue, lease_timeout=args.lease_timeout
@@ -637,6 +696,80 @@ def _cmd_top(args) -> int:
             time.sleep(args.watch)
     except KeyboardInterrupt:
         return 0
+
+
+def _cmd_health(args) -> int:
+    from ..telemetry import evaluate_health
+    from .backends import JobQueue
+
+    store = _store_from(args)
+    queue = (
+        JobQueue(args.queue_dir)
+        if args.queue_dir
+        else JobQueue.for_store(store)
+    )
+    doc = evaluate_health(
+        store, queue,
+        lease_timeout=args.lease_timeout,
+        max_failures=args.max_failures,
+    )
+    healthy = doc["status"] == "ok"
+    if args.json:
+        print(json.dumps(doc, indent=1, sort_keys=True))
+        return 0 if healthy else 1
+    print(f"cluster health: {doc['status']}  (store {doc['store']})")
+    for check in doc["checks"]:
+        mark = "ok " if check["ok"] else "FAIL"
+        print(f"  [{mark}] {check['name']:<16} {check['detail']}")
+    return 0 if healthy else 1
+
+
+def _cmd_blackbox(args) -> int:
+    from ..telemetry import find_crash_dumps, load_crash_dump, render_blackbox
+
+    store = _store_from(args)
+    dumps = find_crash_dumps(store.root)
+    if args.clear:
+        for path in dumps:
+            path.unlink(missing_ok=True)
+        print(f"cleared {len(dumps)} crash dumps from {store.root}")
+        return 0
+    if not dumps:
+        print(
+            f"no crash dumps under {store.root}/telemetry/crash — "
+            "nothing has died unexpectedly",
+            file=sys.stderr,
+        )
+        return 1
+    if args.list:
+        for path in dumps:
+            doc = load_crash_dump(path)
+            print(
+                f"{path.name}  reason={doc.get('reason', '?')}  "
+                f"host={doc.get('host', '?')}  pid={doc.get('pid', '?')}  "
+                f"events={len(doc.get('events') or [])}"
+            )
+        return 0
+    if args.dump:
+        matches = [p for p in dumps if p.name.startswith(args.dump)]
+        if not matches:
+            print(f"no crash dump matching {args.dump!r}", file=sys.stderr)
+            return 1
+        selected = matches
+    else:
+        selected = [dumps[-1]]  # newest
+    first = True
+    for path in selected:
+        doc = load_crash_dump(path)
+        if args.json:
+            print(json.dumps(doc, indent=1, sort_keys=True))
+            continue
+        if not first:
+            print("\n" + "=" * 72 + "\n")
+        first = False
+        print(f"[{path.name}]")
+        print(render_blackbox(doc))
+    return 0
 
 
 def _cmd_cache(args) -> int:
@@ -991,6 +1124,10 @@ def build_parser() -> argparse.ArgumentParser:
     sweep.add_argument("--verbose", action="store_true",
                        help="per-layer progress lines "
                        "(jobs queued/leased/done)")
+    sweep.add_argument("--metrics-port", type=int, default=None,
+                       metavar="PORT",
+                       help="serve broker /metrics + /healthz on this "
+                       "port for the duration of the sweep (0: ephemeral)")
     sweep.set_defaults(func=_cmd_sweep)
 
     worker = sub.add_parser(
@@ -1020,6 +1157,13 @@ def build_parser() -> argparse.ArgumentParser:
     worker.add_argument("--die-after-claims", type=int, default=None,
                         help="fault injection for tests: SIGKILL self after "
                         "claiming the N-th job, before executing it")
+    worker.add_argument("--metrics-port", type=int, default=None,
+                        metavar="PORT",
+                        help="serve Prometheus /metrics, /metrics.json and "
+                        "/healthz on this port (0: ephemeral)")
+    worker.add_argument("--metrics-host", default="127.0.0.1",
+                        help="bind address for --metrics-port "
+                        "(default: 127.0.0.1; 0.0.0.0 for cluster scrapes)")
     worker.add_argument("--quiet", action="store_true",
                         help="shorthand for --log-level warning")
     worker.add_argument("--log-level", default=None, choices=_LOG_LEVELS,
@@ -1089,7 +1233,43 @@ def build_parser() -> argparse.ArgumentParser:
     top.add_argument("--lease-timeout", type=float, default=30.0,
                      help="staleness threshold for workers/leases "
                      "(default: 30s, the broker default)")
+    top.add_argument("--json", action="store_true",
+                     help="print one machine-readable snapshot "
+                     "(incompatible with --watch)")
     top.set_defaults(func=_cmd_top)
+
+    health = sub.add_parser(
+        "health",
+        help="evaluate cluster health thresholds; exit nonzero when "
+        "unhealthy (CI/cron-friendly)",
+    )
+    health.add_argument("--cache-dir", default=None)
+    health.add_argument("--queue-dir", default=None,
+                        help="job queue location (default: <store>/queue)")
+    health.add_argument("--lease-timeout", type=float, default=30.0,
+                        help="heartbeat staleness threshold (default: 30s)")
+    health.add_argument("--max-failures", type=int, default=3,
+                        help="failure records at/above this count flag a "
+                        "retry spike (default: 3)")
+    health.add_argument("--json", action="store_true")
+    health.set_defaults(func=_cmd_health)
+
+    blackbox = sub.add_parser(
+        "blackbox",
+        help="render flight-recorder crash dumps a dying worker/broker "
+        "left under <store>/telemetry/crash",
+    )
+    blackbox.add_argument("dump", nargs="?", default=None,
+                          help="dump filename (or prefix); default: newest")
+    blackbox.add_argument("--cache-dir", default=None)
+    blackbox.add_argument("--list", action="store_true",
+                          help="one line per dump instead of a rendering")
+    blackbox.add_argument("--clear", action="store_true",
+                          help="delete all crash dumps (after triage, so "
+                          "`repro health` goes green again)")
+    blackbox.add_argument("--json", action="store_true",
+                          help="print the raw dump document(s)")
+    blackbox.set_defaults(func=_cmd_blackbox)
 
     desc = sub.add_parser(
         "describe", help="introspect the component registries"

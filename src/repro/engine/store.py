@@ -31,7 +31,7 @@ from typing import Iterator
 
 import numpy as np
 
-from ..telemetry import span
+from ..telemetry import metric_inc, span
 from ..trace import Trace
 from .spec import RunResult, RunSpec
 
@@ -300,6 +300,7 @@ class ResultStore:
                 with open(stage / _SERIES, "wb") as fh:
                     np.savez(fh, **result.arrays)
             self._publish(result.key, stage, overwrite=overwrite)
+        metric_inc("repro_store_publishes_total", kind=result.spec.kind)
 
     def put_trace(self, spec: RunSpec, trace: Trace, meta: dict) -> None:
         """Publish a generated trace artifact under its spec key."""

@@ -15,8 +15,13 @@ Three consumers of the raw spans live here:
 * :func:`aggregate_timings` / :func:`render_timings` — ``repro report
   --timings``: fold every run profile of a store into one table of span
   totals across the sweep.
-* :func:`render_cluster_status` — ``repro top``: the live worker /
-  lease / queue table read straight off the queue directory.
+* :func:`cluster_status_doc` / :func:`render_cluster_status` —
+  ``repro top`` (and ``repro top --json``): the live worker / lease /
+  queue table read straight off the queue directory, enriched with
+  per-worker job rates from the metrics file snapshots.
+* :func:`evaluate_health` — ``repro health``: machine-checkable
+  threshold evaluation (stale heartbeats, stuck leases, queue stall,
+  retry spikes, crash dumps) with a nonzero exit for CI/cron.
 
 Everything here writes only under ``<store>/telemetry/`` — never into
 ``objects/`` — so run profiles cannot perturb a content hash.
@@ -40,6 +45,8 @@ from .sinks import read_jsonl, write_json_atomic  # noqa: F401  (re-export)
 
 __all__ = [
     "aggregate_timings",
+    "cluster_status_doc",
+    "evaluate_health",
     "find_run_profiles",
     "load_run_profile",
     "profile_tree",
@@ -308,10 +315,24 @@ def aggregate_timings(store_root: str | os.PathLike) -> dict:
             g["total"] += event["dur"]
         for name, value in (doc.get("pair_counters") or {}).items():
             counters[name] = counters.get(name, 0) + int(value)
+    from .export import load_metrics_snapshots
+
+    metrics: dict[str, float] = {}
+    snapshots = load_metrics_snapshots(store_root)
+    for snap in snapshots:
+        for entry in snap.get("counters", ()):
+            name = entry.get("name")
+            try:
+                value = float(entry.get("value", 0.0))
+            except (TypeError, ValueError):
+                continue
+            metrics[name] = metrics.get(name, 0.0) + value
     return {
         "runs": sorted(runs, key=lambda r: -r["wall_s"]),
         "spans": sorted(spans.values(), key=lambda g: -g["total"]),
         "pair_counters": counters,
+        "metrics": metrics,
+        "metrics_snapshots": len(snapshots),
     }
 
 
@@ -336,22 +357,91 @@ def render_timings(doc: dict) -> str:
             f"({r['key'][:12]})"
         )
     lines.extend(_counters_summary(doc.get("pair_counters", {})))
+    lines.extend(_metrics_summary(doc))
     return "\n".join(lines)
 
 
+def _metrics_summary(doc: dict) -> list[str]:
+    """Fleet-wide lines from the metrics file snapshots (if any)."""
+    metrics = doc.get("metrics") or {}
+    if not metrics:
+        return []
+    lines = [
+        f"  fleet metrics ({doc.get('metrics_snapshots', 0)} process "
+        f"snapshots):"
+    ]
+    hits = metrics.get("repro_store_read_cache_hits_total", 0.0)
+    misses = metrics.get("repro_store_read_cache_misses_total", 0.0)
+    if hits + misses:
+        lines.append(
+            f"    store read cache: {int(hits):,} hits / "
+            f"{int(misses):,} misses ({hits / (hits + misses):.0%} hit "
+            f"rate), {int(metrics.get('repro_store_read_cache_evictions_total', 0)):,} "
+            f"evictions, "
+            f"{int(metrics.get('repro_store_read_cache_mmap_loads_total', 0)):,} "
+            f"mmap loads"
+        )
+    builds = metrics.get("repro_pair_index_builds_total", 0.0)
+    reuses = metrics.get("repro_pair_index_reuses_total", 0.0)
+    deltas = metrics.get("repro_pair_delta_updates_total", 0.0)
+    if builds or reuses or deltas:
+        served = builds + reuses
+        warm = reuses / served if served else 0.0
+        lines.append(
+            f"    pair-index reuse: {int(builds):,} builds, "
+            f"{int(deltas):,} delta updates, {int(reuses):,} reuses "
+            f"({warm:.0%} served warm)"
+        )
+    jobs = sum(
+        v for k, v in metrics.items() if k == "repro_worker_jobs_total"
+    )
+    if jobs:
+        lines.append(f"    worker jobs completed: {int(jobs):,}")
+    return lines
+
+
 # ---------------------------------------------------------------------------
-# `repro top`: live cluster status
+# `repro top` / `repro health`: live cluster status
 # ---------------------------------------------------------------------------
 
-def render_cluster_status(store, queue, lease_timeout: float = 30.0,
-                          now: float | None = None) -> str:
-    """One snapshot of the worker/lease/queue state as a status table.
+def _worker_rates(store_root) -> dict[tuple, float]:
+    """Per-process jobs/minute from the metrics file snapshots.
+
+    Keyed by ``(host, pid)`` — the same identity the snapshot filenames
+    carry — so the status table can join rates onto the worker registry
+    without any live connection to the worker.
+    """
+    from .export import load_metrics_snapshots
+
+    rates: dict[tuple, float] = {}
+    for snap in load_metrics_snapshots(store_root):
+        elapsed = (snap.get("written_at") or 0.0) - (
+            snap.get("started_at") or 0.0
+        )
+        if elapsed <= 0:
+            continue
+        jobs = sum(
+            float(entry.get("value", 0.0))
+            for entry in snap.get("counters", ())
+            if entry.get("name") == "repro_worker_jobs_total"
+        )
+        rates[(snap.get("host"), snap.get("pid"))] = jobs / elapsed * 60.0
+    return rates
+
+
+def cluster_status_doc(store, queue, lease_timeout: float = 30.0,
+                       now: float | None = None) -> dict:
+    """Machine-readable worker/lease/queue snapshot (``repro top --json``).
 
     ``store``/``queue`` are duck-typed (`.root`, and the JobQueue read
     API) so this module never imports the engine — the CLI hands in
-    live objects.
+    live objects.  All ages are clamped at zero: on a shared-filesystem
+    cluster the heartbeat stamps come from *other hosts' clocks*, and
+    skew must render as "just now", not a negative age.
     """
     import time as _time
+
+    from .flight import find_crash_dumps
 
     now = _time.time() if now is None else now
     workers = queue.workers()
@@ -364,58 +454,205 @@ def render_cluster_status(store, queue, lease_timeout: float = 30.0,
     failures = queue.failures()
     leased_keys = {lease.get("key") for lease in leases}
     waiting = [t for t in tickets if t.get("key") not in leased_keys]
+    rates = _worker_rates(store.root)
 
-    lines = [
-        f"store {store.root}",
-        f"queue {queue.root}: {len(tickets)} open tickets "
-        f"({len(leases)} leased, {len(waiting)} waiting), "
-        f"{len(failures)} failure records",
-        f"workers ({len(alive)} alive / {len(workers)} registered):",
+    worker_rows = []
+    for w in sorted(workers, key=lambda w: w["worker_id"]):
+        beat_age = max(0.0, now - (w.get("heartbeat_at") or 0.0))
+        worker_rows.append({
+            "worker_id": w["worker_id"],
+            "host": w.get("host", "?"),
+            "pid": w.get("pid", 0),
+            "jobs_done": w.get("jobs_done", 0),
+            "beat_age_s": beat_age,
+            "state": "alive" if w["worker_id"] in alive else "stale",
+            "jobs_per_min": rates.get((w.get("host"), w.get("pid"))),
+        })
+    lease_rows = [
+        {
+            "key": lease.get("key"),
+            "owner": lease.get("owner"),
+            "attempt": lease.get("attempt", 0),
+            "age_s": max(0.0, now - (lease.get("claimed_at") or now)),
+            "beat_age_s": max(
+                0.0, now - (lease.get("heartbeat_at") or now)
+            ),
+        }
+        for lease in leases
     ]
-    if workers:
+    waiting_rows = [
+        {
+            "key": t.get("key"),
+            "label": t.get("label", ""),
+            "attempt": t.get("attempt", 0),
+            "max_attempts": t.get("max_attempts", 0),
+        }
+        for t in waiting
+    ]
+    failure_rows = [
+        {
+            "key": f.get("key"),
+            "attempt": f.get("attempt", 0),
+            "owner": f.get("owner"),
+            "error": f.get("error"),
+        }
+        for f in failures
+    ]
+    return {
+        "now": now,
+        "store": str(store.root),
+        "queue": str(queue.root),
+        "tickets_open": len(tickets),
+        "workers": worker_rows,
+        "workers_alive": len(alive),
+        "leases": lease_rows,
+        "waiting": waiting_rows,
+        "failures": failure_rows,
+        "crash_dumps": len(find_crash_dumps(store.root)),
+    }
+
+
+def render_cluster_status(store, queue, lease_timeout: float = 30.0,
+                          now: float | None = None) -> str:
+    """One snapshot of the worker/lease/queue state as a status table."""
+    doc = cluster_status_doc(store, queue, lease_timeout=lease_timeout,
+                             now=now)
+    lines = [
+        f"store {doc['store']}",
+        f"queue {doc['queue']}: {doc['tickets_open']} open tickets "
+        f"({len(doc['leases'])} leased, {len(doc['waiting'])} waiting), "
+        f"{len(doc['failures'])} failure records",
+        f"workers ({doc['workers_alive']} alive / "
+        f"{len(doc['workers'])} registered):",
+    ]
+    if doc["workers"]:
         lines.append(
             f"  {'worker':<34}{'host':<12}{'pid':>7}{'jobs':>6}"
-            f"{'beat age':>10}  state"
+            f"{'j/min':>8}{'beat age':>10}  state"
         )
-        for w in sorted(workers, key=lambda w: w["worker_id"]):
-            beat_age = now - (w.get("heartbeat_at") or 0.0)
-            state = "alive" if w["worker_id"] in alive else "stale"
+        for w in doc["workers"]:
+            rate = w["jobs_per_min"]
+            rate_txt = f"{rate:>7.1f} " if rate is not None else f"{'-':>7} "
             lines.append(
-                f"  {w['worker_id']:<34}{w.get('host', '?'):<12}"
-                f"{w.get('pid', 0):>7}{w.get('jobs_done', 0):>6}"
-                f"{beat_age:>9.1f}s  {state}"
+                f"  {w['worker_id']:<34}{w['host']:<12}"
+                f"{w['pid']:>7}{w['jobs_done']:>6}{rate_txt}"
+                f"{w['beat_age_s']:>9.1f}s  {w['state']}"
             )
     else:
         lines.append("  (none registered)")
-    if leases:
+    if doc["leases"]:
         lines.append("leases:")
         lines.append(
             f"  {'key':<14}{'owner':<34}{'attempt':>8}{'age':>9}"
             f"{'beat age':>10}"
         )
-        for lease in leases:
-            age = now - (lease.get("claimed_at") or now)
-            beat_age = now - (lease.get("heartbeat_at") or now)
+        for lease in doc["leases"]:
             lines.append(
-                f"  {str(lease.get('key', ''))[:12]:<14}"
-                f"{str(lease.get('owner')):<34}"
-                f"{lease.get('attempt', 0):>8}{age:>8.1f}s{beat_age:>9.1f}s"
+                f"  {str(lease['key'] or '')[:12]:<14}"
+                f"{str(lease['owner']):<34}"
+                f"{lease['attempt']:>8}{lease['age_s']:>8.1f}s"
+                f"{lease['beat_age_s']:>9.1f}s"
             )
-    if waiting:
+    if doc["waiting"]:
         lines.append("waiting tickets:")
-        for t in waiting[:20]:
+        for t in doc["waiting"][:20]:
             lines.append(
-                f"  {str(t.get('key', ''))[:12]:<14}"
-                f"{t.get('label', ''):<40}"
-                f"attempt {t.get('attempt', 0)}/{t.get('max_attempts', 0)}"
+                f"  {str(t['key'] or '')[:12]:<14}"
+                f"{t['label']:<40}"
+                f"attempt {t['attempt']}/{t['max_attempts']}"
             )
-        if len(waiting) > 20:
-            lines.append(f"  ... and {len(waiting) - 20} more")
-    if failures:
-        lines.append(f"failures ({len(failures)} records):")
-        for f in failures[-5:]:
+        if len(doc["waiting"]) > 20:
+            lines.append(f"  ... and {len(doc['waiting']) - 20} more")
+    if doc["failures"]:
+        lines.append(f"failures ({len(doc['failures'])} records):")
+        for f in doc["failures"][-5:]:
             lines.append(
-                f"  {str(f.get('key', ''))[:12]} attempt "
-                f"{f.get('attempt', 0)} by {f.get('owner')}"
+                f"  {str(f['key'] or '')[:12]} attempt "
+                f"{f['attempt']} by {f['owner']}"
             )
+    if doc["crash_dumps"]:
+        lines.append(
+            f"crash dumps: {doc['crash_dumps']} under telemetry/crash/ "
+            f"(inspect with `repro blackbox`)"
+        )
     return "\n".join(lines)
+
+
+def evaluate_health(store, queue, *, lease_timeout: float = 30.0,
+                    max_failures: int = 3,
+                    now: float | None = None) -> dict:
+    """Threshold checks over the cluster state (``repro health``).
+
+    Each check contributes ``{"name", "ok", "detail"}``; overall
+    ``status`` is ``"ok"`` only when every check passes, so the CLI can
+    exit nonzero for CI/cron.  Checks:
+
+    * ``stale_workers`` — registered workers whose heartbeat exceeds the
+      lease timeout (likely dead, leases pending expiry);
+    * ``stale_leases`` — leases whose job heartbeat went quiet (the
+      holder died mid-job; a broker will requeue on expiry);
+    * ``queue_stall`` — waiting tickets with zero alive workers (nobody
+      will ever drain the queue);
+    * ``retry_spikes`` — ``failed/`` records at or above
+      ``max_failures`` (systematic job failure, not a one-off);
+    * ``crash_dumps`` — flight-recorder dumps present (a worker died
+      unhandled; clear ``telemetry/crash/`` after triage).
+    """
+    doc = cluster_status_doc(store, queue, lease_timeout=lease_timeout,
+                             now=now)
+    checks = []
+
+    stale = [w for w in doc["workers"] if w["state"] == "stale"]
+    checks.append({
+        "name": "stale_workers",
+        "ok": not stale,
+        "detail": (
+            f"{len(stale)} of {len(doc['workers'])} registered workers "
+            f"have stale heartbeats"
+            + (f": {', '.join(w['worker_id'] for w in stale[:4])}"
+               if stale else "")
+        ),
+    })
+    quiet = [
+        lease for lease in doc["leases"]
+        if lease["beat_age_s"] > lease_timeout
+    ]
+    checks.append({
+        "name": "stale_leases",
+        "ok": not quiet,
+        "detail": (
+            f"{len(quiet)} of {len(doc['leases'])} leases exceed the "
+            f"{lease_timeout:.0f}s heartbeat timeout"
+            + (f": {', '.join(str(q['key'] or '')[:12] for q in quiet[:4])}"
+               if quiet else "")
+        ),
+    })
+    stalled = bool(doc["waiting"]) and doc["workers_alive"] == 0
+    checks.append({
+        "name": "queue_stall",
+        "ok": not stalled,
+        "detail": (
+            f"{len(doc['waiting'])} waiting tickets, "
+            f"{doc['workers_alive']} alive workers"
+        ),
+    })
+    checks.append({
+        "name": "retry_spikes",
+        "ok": len(doc["failures"]) < max_failures,
+        "detail": (
+            f"{len(doc['failures'])} failure records "
+            f"(threshold {max_failures})"
+        ),
+    })
+    checks.append({
+        "name": "crash_dumps",
+        "ok": doc["crash_dumps"] == 0,
+        "detail": f"{doc['crash_dumps']} crash dumps under telemetry/crash/",
+    })
+    return {
+        "status": "ok" if all(c["ok"] for c in checks) else "unhealthy",
+        "now": doc["now"],
+        "store": doc["store"],
+        "queue": doc["queue"],
+        "checks": checks,
+    }
